@@ -1,0 +1,241 @@
+//! Fixed-point multiprecision complex arithmetic — the data type behind
+//! the zkcm (quantum simulation) and Frac (reference orbit) workloads.
+//!
+//! A [`FixedComplex`] holds `re + im·i` as signed integers scaled by
+//! `2^scale_bits`. All multiplications route through the [`Session`] so
+//! they land on the chosen backend.
+
+use crate::backend::Session;
+use apc_bignum::{Int, Nat};
+
+/// A complex number in fixed-point representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedComplex {
+    /// Real part, scaled by `2^scale`.
+    pub re: Int,
+    /// Imaginary part, scaled by `2^scale`.
+    pub im: Int,
+}
+
+/// Arithmetic context fixing the binary scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedCtx {
+    /// Fraction bits.
+    pub scale: u64,
+}
+
+/// Arithmetic-shift-right for sign-magnitude integers (truncates toward
+/// zero, which keeps fixed-point errors unbiased across conjugates).
+pub fn shr_int(v: &Int, bits: u64) -> Int {
+    Int::from_sign_magnitude(v.is_negative(), v.magnitude().shr_bits(bits))
+}
+
+impl FixedCtx {
+    /// A context with `scale` fraction bits.
+    pub fn new(scale: u64) -> FixedCtx {
+        FixedCtx { scale }
+    }
+
+    /// The fixed-point value 1.0.
+    pub fn one(&self) -> Int {
+        Int::from_nat(Nat::power_of_two(self.scale))
+    }
+
+    /// Converts an `f64` to fixed point (for test vectors and pixel
+    /// coordinates; |v| must be < 2^10).
+    pub fn from_f64(&self, v: f64) -> Int {
+        let scaled = (v * (1u128 << 64.min(self.scale)) as f64) as i128;
+        let base = Int::from_sign_magnitude(
+            scaled < 0,
+            Nat::from(scaled.unsigned_abs() as u128),
+        );
+        if self.scale > 64 {
+            base.shl_bits(self.scale - 64)
+        } else {
+            base
+        }
+    }
+
+    /// Parses a signed decimal string ("-1.76733", "0.00145", "2") into
+    /// fixed point at full precision — this is how deep-zoom Mandelbrot
+    /// centers beyond f64 precision are expressed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for malformed input.
+    ///
+    /// ```
+    /// use apc_apps::complex::FixedCtx;
+    /// let c = FixedCtx::new(128);
+    /// let v = c.from_decimal_str("-0.5").unwrap();
+    /// assert!((c.to_f64(&v) + 0.5).abs() < 1e-15);
+    /// ```
+    pub fn from_decimal_str(&self, s: &str) -> Result<Int, apc_bignum::ParseNumberError> {
+        let (negative, rest) = match s.strip_prefix('-') {
+            Some(r) => (true, r),
+            None => (false, s),
+        };
+        let (int_part, frac_part) = match rest.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (rest, ""),
+        };
+        let int_part = if int_part.is_empty() { "0" } else { int_part };
+        let digits = format!("{int_part}{frac_part}");
+        let numerator = Nat::from_decimal_str(&digits)?.shl_bits(self.scale);
+        let denominator = apc_bignum::nat::radix::pow10_pub(frac_part.len() as u64);
+        let magnitude = &numerator / &denominator;
+        Ok(Int::from_sign_magnitude(negative, magnitude))
+    }
+
+    /// Converts fixed point back to `f64` (approximate).
+    pub fn to_f64(&self, v: &Int) -> f64 {
+        let mag = v.magnitude();
+        let len = mag.bit_len();
+        let take = len.min(53);
+        if len == 0 {
+            return 0.0;
+        }
+        let top = mag.shr_bits(len - take).to_u64().expect("53 bits") as f64;
+        let e = (len - take) as i64 - self.scale as i64;
+        let val = top * 2f64.powi(e.clamp(-1060, 1060) as i32);
+        if v.is_negative() {
+            -val
+        } else {
+            val
+        }
+    }
+
+    /// Fixed-point multiply via the session: `(a·b) >> scale`.
+    pub fn mul(&self, session: &Session, a: &Int, b: &Int) -> Int {
+        shr_int(&session.mul_int(a, b), self.scale)
+    }
+
+    /// Complex zero.
+    pub fn czero(&self) -> FixedComplex {
+        FixedComplex {
+            re: Int::zero(),
+            im: Int::zero(),
+        }
+    }
+
+    /// Complex from f64 parts.
+    pub fn cfrom_f64(&self, re: f64, im: f64) -> FixedComplex {
+        FixedComplex {
+            re: self.from_f64(re),
+            im: self.from_f64(im),
+        }
+    }
+
+    /// Complex addition (host sign handling, backend adds).
+    pub fn cadd(&self, session: &Session, a: &FixedComplex, b: &FixedComplex) -> FixedComplex {
+        FixedComplex {
+            re: session.add_int(&a.re, &b.re),
+            im: session.add_int(&a.im, &b.im),
+        }
+    }
+
+    /// Complex subtraction.
+    pub fn csub(&self, session: &Session, a: &FixedComplex, b: &FixedComplex) -> FixedComplex {
+        FixedComplex {
+            re: session.sub_int(&a.re, &b.re),
+            im: session.sub_int(&a.im, &b.im),
+        }
+    }
+
+    /// Complex multiplication (4 backend multiplies, the zkcm kernel).
+    pub fn cmul(&self, session: &Session, a: &FixedComplex, b: &FixedComplex) -> FixedComplex {
+        let rr = session.mul_int(&a.re, &b.re);
+        let ii = session.mul_int(&a.im, &b.im);
+        let ri = session.mul_int(&a.re, &b.im);
+        let ir = session.mul_int(&a.im, &b.re);
+        FixedComplex {
+            re: shr_int(&session.sub_int(&rr, &ii), self.scale),
+            im: shr_int(&session.add_int(&ri, &ir), self.scale),
+        }
+    }
+
+    /// Scales a complex by a real fixed-point factor.
+    pub fn cscale(&self, session: &Session, a: &FixedComplex, k: &Int) -> FixedComplex {
+        FixedComplex {
+            re: self.mul(session, &a.re, k),
+            im: self.mul(session, &a.im, k),
+        }
+    }
+
+    /// Squared magnitude |a|² as a fixed-point real.
+    pub fn cnorm_sq(&self, session: &Session, a: &FixedComplex) -> Int {
+        let rr = self.mul(session, &a.re, &a.re);
+        let ii = self.mul(session, &a.im, &a.im);
+        session.add_int(&rr, &ii)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> (FixedCtx, Session) {
+        (FixedCtx::new(128), Session::software())
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let (c, _) = ctx();
+        for v in [0.0, 1.0, -2.5, 0.1234, -1e-6, 3.75] {
+            let fx = c.from_f64(v);
+            assert!((c.to_f64(&fx) - v).abs() < 1e-12, "v={v}");
+        }
+    }
+
+    #[test]
+    fn complex_multiplication_identity() {
+        let (c, s) = ctx();
+        let one = FixedComplex {
+            re: c.one(),
+            im: Int::zero(),
+        };
+        let z = c.cfrom_f64(1.5, -0.75);
+        let p = c.cmul(&s, &z, &one);
+        assert!((c.to_f64(&p.re) - 1.5).abs() < 1e-12);
+        assert!((c.to_f64(&p.im) + 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let (c, s) = ctx();
+        let i = FixedComplex {
+            re: Int::zero(),
+            im: c.one(),
+        };
+        let p = c.cmul(&s, &i, &i);
+        assert!((c.to_f64(&p.re) + 1.0).abs() < 1e-12);
+        assert!((c.to_f64(&p.im)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_f64_complex_arithmetic() {
+        let (c, s) = ctx();
+        let a = c.cfrom_f64(0.3, -1.2);
+        let b = c.cfrom_f64(-2.1, 0.7);
+        let p = c.cmul(&s, &a, &b);
+        // (0.3 - 1.2i)(-2.1 + 0.7i) = (-0.63 + 0.84) + (0.21 + 2.52)i
+        assert!((c.to_f64(&p.re) - 0.21).abs() < 1e-10);
+        assert!((c.to_f64(&p.im) - 2.73).abs() < 1e-10);
+        let sum = c.cadd(&s, &a, &b);
+        assert!((c.to_f64(&sum.re) + 1.8).abs() < 1e-10);
+    }
+
+    #[test]
+    fn norm_squared() {
+        let (c, s) = ctx();
+        let z = c.cfrom_f64(3.0, 4.0);
+        let n = c.cnorm_sq(&s, &z);
+        assert!((c.to_f64(&n) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shr_int_truncates_toward_zero() {
+        assert_eq!(shr_int(&Int::from(-5i64), 1), Int::from(-2i64));
+        assert_eq!(shr_int(&Int::from(5i64), 1), Int::from(2i64));
+    }
+}

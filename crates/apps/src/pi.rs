@@ -1,0 +1,199 @@
+//! *Pi*: N digits of π by the Chudnovsky algorithm with binary splitting
+//! (Algorithm 1 of the paper — the fastest known π algorithm).
+//!
+//! `1/π = 12 Σₖ (−1)ᵏ (6k)! (13591409 + 545140134k) /
+//!        ((3k)! (k!)³ 640320^{3k+3/2})`
+//!
+//! Binary splitting turns the sum into a tree of large integer
+//! multiplications — which is why the paper observes that Pi's
+//! "binary-splitting method introduced many small-bitwidth
+//! multiplications that are hard to accelerate" (§VII-C): the tree's lower
+//! levels multiply short operands, the upper levels huge ones.
+
+use crate::backend::Session;
+use apc_bignum::{Int, Nat};
+
+/// Digits per series term (log10(640320³/24/72) ≈ 14.18).
+const DIGITS_PER_TERM: f64 = 14.181647462725477;
+
+/// C³/24 where C = 640320 (the paper's Q(b−1,b) constant).
+const Q_CONST: u64 = 10_939_058_860_032_000;
+
+/// Computes `digits` decimal digits of π (returned as "3.14159…").
+///
+/// ```
+/// use apc_apps::backend::Session;
+/// use apc_apps::pi::chudnovsky_pi;
+///
+/// let s = Session::software();
+/// let pi = chudnovsky_pi(30, &s);
+/// assert!(pi.starts_with("3.141592653589793238462643383279"));
+/// ```
+pub fn chudnovsky_pi(digits: u64, session: &Session) -> String {
+    chudnovsky_pi_opts(digits, session, false)
+}
+
+/// [`chudnovsky_pi`] with the optional fraction simplification the paper
+/// mentions ("to further increase the acceleration, factorization can be
+/// optionally leveraged to simplify the fraction before dividing",
+/// §II-A): gcd-reduce Q/T before the final long division.
+pub fn chudnovsky_pi_opts(digits: u64, session: &Session, factorize: bool) -> String {
+    assert!(digits >= 1, "need at least one digit");
+    let terms = ((digits as f64 / DIGITS_PER_TERM) as u64 + 2).max(2);
+    let (_, q, t) = binary_split(0, terms, session);
+    let (q, t) = if factorize {
+        let g = q.magnitude().gcd(t.magnitude());
+        if g.is_one() {
+            (q, t)
+        } else {
+            (
+                Int::from_sign_magnitude(q.is_negative(), q.magnitude().div_exact(&g)),
+                Int::from_sign_magnitude(t.is_negative(), t.magnitude().div_exact(&g)),
+            )
+        }
+    } else {
+        (q, t)
+    };
+
+    let guard = 12;
+    let scaled_digits = digits + guard;
+    // sqrt(10005) · 10^scaled  =  sqrt(10005 · 10^(2·scaled))
+    let ten = Nat::from(10u64);
+    let scale = ten.pow(u32::try_from(scaled_digits).expect("digit count fits u32"));
+    let radicand = session.mul(&Nat::from(10_005u64), &session.mul(&scale, &scale));
+    let (sqrt_10005, _) = session.sqrt_rem(&radicand);
+
+    // π = Q·426880·sqrt(10005) / T
+    let numerator = session.mul(
+        &session.mul(&q.magnitude().clone(), &Nat::from(426_880u64)),
+        &sqrt_10005,
+    );
+    assert!(
+        !t.is_negative(),
+        "T(0,N) is positive for the Chudnovsky series"
+    );
+    let (pi_scaled, _) = session.divrem(&numerator, t.magnitude());
+
+    let s = pi_scaled.to_decimal_string();
+    // s = "3" followed by scaled_digits fraction digits.
+    let (int_part, frac) = s.split_at(s.len() - scaled_digits as usize);
+    format!("{int_part}.{}", &frac[..digits as usize])
+}
+
+/// Binary splitting over term range [a, b): returns (P, Q, T).
+fn binary_split(a: u64, b: u64, session: &Session) -> (Int, Int, Int) {
+    if b - a == 1 {
+        let (p, q) = if a == 0 {
+            (Int::one(), Int::one())
+        } else {
+            // P(a−1,a) = (6a−5)(2a−1)(6a−1)  — fits u128 up to a ≈ 10⁹.
+            let p = u128::from(6 * a - 5) * u128::from(2 * a - 1) * u128::from(6 * a - 1);
+            // Q(a−1,a) = a³·C³/24 — a³ can exceed u128 × Q_CONST, so stay
+            // in Nat.
+            let a_nat = Nat::from(a);
+            let a3 = session.mul(&session.mul(&a_nat, &a_nat), &a_nat);
+            let q = session.mul(&a3, &Nat::from(Q_CONST));
+            (Int::from_nat(Nat::from(p)), Int::from_nat(q))
+        };
+        // T term: P·(13591409 + 545140134a), alternating sign.
+        let factor = Nat::from(13_591_409u64 + 545_140_134 * a);
+        let t_mag = session.mul(p.magnitude(), &factor);
+        let t = Int::from_sign_magnitude(a % 2 == 1, t_mag);
+        (p, q, t)
+    } else {
+        let m = a + (b - a) / 2;
+        let (p1, q1, t1) = binary_split(a, m, session);
+        let (p2, q2, t2) = binary_split(m, b, session);
+        let p = session.mul_int(&p1, &p2);
+        let q = session.mul_int(&q1, &q2);
+        // T = Q₂·T₁ + P₁·T₂
+        let t = session.add_int(&session.mul_int(&q2, &t1), &session.mul_int(&p1, &t2));
+        (p, q, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PI_100: &str = "3.1415926535897932384626433832795028841971693993751058209749445923078164062862089986280348253421170679";
+
+    #[test]
+    fn fifty_digits_correct() {
+        let s = Session::software();
+        let pi = chudnovsky_pi(50, &s);
+        assert_eq!(pi, &PI_100[..52]);
+    }
+
+    #[test]
+    fn hundred_digits_correct() {
+        let s = Session::software();
+        assert_eq!(chudnovsky_pi(100, &s), PI_100);
+    }
+
+    #[test]
+    fn one_digit() {
+        let s = Session::software();
+        assert_eq!(chudnovsky_pi(1, &s), "3.1");
+    }
+
+    #[test]
+    fn device_backend_matches_software() {
+        let sw = Session::software();
+        let hw = Session::cambricon_p();
+        assert_eq!(chudnovsky_pi(200, &sw), chudnovsky_pi(200, &hw));
+        // And the device session accumulated cycles.
+        assert!(hw.report().device_seconds > 0.0);
+    }
+
+    #[test]
+    fn thousand_digits_spot_check() {
+        let s = Session::software();
+        let pi = chudnovsky_pi(1000, &s);
+        // The first 1000 decimal digits of π famously end in "…1989";
+        // digits 993–1000 are "64201989".
+        assert_eq!(&pi[2 + 992..2 + 1000], "64201989");
+        assert_eq!(pi.len(), 1002);
+        // Self-consistency at a different guard size: a longer run must
+        // agree on every shared digit.
+        let longer = chudnovsky_pi(1023, &s);
+        assert_eq!(&longer[..pi.len()], pi);
+    }
+
+    #[test]
+    fn factorized_variant_gives_identical_digits() {
+        let s = Session::software();
+        assert_eq!(
+            chudnovsky_pi_opts(500, &s, true),
+            chudnovsky_pi_opts(500, &s, false)
+        );
+    }
+
+    #[test]
+    fn chudnovsky_agrees_with_gauss_legendre() {
+        // Two independent π algorithms (binary splitting vs AGM, the two
+        // iterative-method families of §II-A) must agree digit-for-digit.
+        let s = Session::software();
+        let chud = chudnovsky_pi(300, &s);
+        let agm = apc_bignum::elementary::pi_agm(320).to_decimal_string(300);
+        assert_eq!(chud, &agm[..chud.len()]);
+    }
+
+    #[test]
+    fn multiplication_dominates_the_profile() {
+        // Figure 2: Multiply is the largest kernel class for Pi (the
+        // final sqrt/division ladder keeps it below the all-app average).
+        let s = Session::software();
+        let _ = chudnovsky_pi(4000, &s);
+        let r = s.report();
+        let mul = r.fraction("Multiply");
+        assert!(mul > 0.35, "Multiply fraction = {mul}");
+        for class in ["Add/Sub", "Shift", "Division", "Sqrt"] {
+            assert!(
+                mul > r.fraction(class),
+                "Multiply ({mul}) should dominate {class} ({})",
+                r.fraction(class)
+            );
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! *zkcm*: quantum-circuit simulation with multiprecision complex
+//! matrices (SaiToh's ZKCM library workload).
+//!
+//! Simulates state vectors of k qubits at arbitrary fixed-point precision
+//! and offers dense multiprecision complex matrix multiplication — the
+//! kernels ZKCM spends its time in.
+
+use crate::backend::Session;
+use crate::complex::{FixedComplex, FixedCtx};
+use apc_bignum::{Int, Nat};
+
+/// A k-qubit state vector at fixed-point precision.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Amplitudes, length 2^qubits.
+    pub amps: Vec<FixedComplex>,
+    /// Number of qubits.
+    pub qubits: u32,
+    /// The fixed-point context.
+    pub ctx: FixedCtx,
+}
+
+impl State {
+    /// |0…0⟩ at the given precision (fraction bits).
+    pub fn zero_state(qubits: u32, scale: u64) -> State {
+        let ctx = FixedCtx::new(scale);
+        let mut amps = vec![ctx.czero(); 1 << qubits];
+        amps[0] = FixedComplex {
+            re: ctx.one(),
+            im: Int::zero(),
+        };
+        State { amps, qubits, ctx }
+    }
+
+    /// Applies the Hadamard gate to `qubit`.
+    pub fn hadamard(&mut self, session: &Session, qubit: u32) {
+        // 1/√2 at the fixed scale: isqrt(2^(2·scale)/2).
+        let inv_sqrt2 = Int::from_nat(Nat::power_of_two(2 * self.ctx.scale - 1).isqrt());
+        let mask = 1usize << qubit;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let a = self.amps[i].clone();
+                let b = self.amps[i | mask].clone();
+                let sum = self.ctx.cadd(session, &a, &b);
+                let diff = self.ctx.csub(session, &a, &b);
+                self.amps[i] = self.ctx.cscale(session, &sum, &inv_sqrt2);
+                self.amps[i | mask] = self.ctx.cscale(session, &diff, &inv_sqrt2);
+            }
+        }
+    }
+
+    /// Applies CNOT with the given control and target qubits.
+    pub fn cnot(&mut self, control: u32, target: u32) {
+        assert_ne!(control, target, "control and target must differ");
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & cmask != 0 && i & tmask == 0 {
+                self.amps.swap(i, i | tmask);
+            }
+        }
+    }
+
+    /// Applies a phase rotation `e^{iθ}` (given as fixed-point cos/sin) to
+    /// the |1⟩ component of `qubit`.
+    pub fn phase(&mut self, session: &Session, qubit: u32, cos: &Int, sin: &Int) {
+        let rot = FixedComplex {
+            re: cos.clone(),
+            im: sin.clone(),
+        };
+        let mask = 1usize << qubit;
+        for i in 0..self.amps.len() {
+            if i & mask != 0 {
+                self.amps[i] = self.ctx.cmul(session, &self.amps[i], &rot);
+            }
+        }
+    }
+
+    /// Measurement probabilities per basis state, as `f64` (for reading
+    /// out small registers; the fixed-point amplitudes retain the full
+    /// precision).
+    pub fn probabilities(&self, session: &Session) -> Vec<f64> {
+        self.amps
+            .iter()
+            .map(|a| self.ctx.to_f64(&self.ctx.cnorm_sq(session, a)))
+            .collect()
+    }
+
+    /// Samples one computational-basis measurement outcome.
+    pub fn measure<R: rand::Rng>(&self, session: &Session, rng: &mut R) -> usize {
+        let probs = self.probabilities(session);
+        let mut x: f64 = rng.gen::<f64>() * probs.iter().sum::<f64>();
+        for (i, p) in probs.iter().enumerate() {
+            if x < *p {
+                return i;
+            }
+            x -= p;
+        }
+        probs.len() - 1
+    }
+
+    /// Σ|amp|² as fixed point — must stay 1 for unitary circuits.
+    pub fn norm_sq(&self, session: &Session) -> Int {
+        let mut acc = Int::zero();
+        for a in &self.amps {
+            acc = session.add_int(&acc, &self.ctx.cnorm_sq(session, a));
+        }
+        acc
+    }
+}
+
+/// Builds a GHZ state (|0…0⟩ + |1…1⟩)/√2 with one Hadamard and a CNOT
+/// ladder.
+pub fn ghz(qubits: u32, scale: u64, session: &Session) -> State {
+    let mut st = State::zero_state(qubits, scale);
+    st.hadamard(session, 0);
+    for q in 1..qubits {
+        st.cnot(q - 1, q);
+    }
+    st
+}
+
+/// Applies the quantum Fourier transform to the whole register — the
+/// canonical precision-hungry circuit (controlled phase angles shrink
+/// geometrically, π/2^k, which is exactly why ZKCM-style multiprecision
+/// simulation exists).
+pub fn qft(state: &mut State, session: &Session) {
+    let n = state.qubits;
+    let ctx = state.ctx;
+    for target in (0..n).rev() {
+        state.hadamard(session, target);
+        for control in (0..target).rev() {
+            let k = target - control;
+            // Controlled phase R_k: e^{i·π/2^k} on |11⟩.
+            let theta = std::f64::consts::PI / f64::from(1u32 << k);
+            let cos = ctx.from_f64(theta.cos());
+            let sin = ctx.from_f64(theta.sin());
+            controlled_phase(state, session, control, target, &cos, &sin);
+        }
+    }
+    // Standard QFT ends with a qubit-order reversal.
+    for q in 0..n / 2 {
+        swap_qubits(state, q, n - 1 - q);
+    }
+}
+
+/// Controlled phase rotation on the |11⟩ subspace of (control, target).
+pub fn controlled_phase(
+    state: &mut State,
+    session: &Session,
+    control: u32,
+    target: u32,
+    cos: &Int,
+    sin: &Int,
+) {
+    assert_ne!(control, target, "control and target must differ");
+    let ctx = state.ctx;
+    let rot = FixedComplex {
+        re: cos.clone(),
+        im: sin.clone(),
+    };
+    let cmask = 1usize << control;
+    let tmask = 1usize << target;
+    for i in 0..state.amps.len() {
+        if i & cmask != 0 && i & tmask != 0 {
+            state.amps[i] = ctx.cmul(session, &state.amps[i], &rot);
+        }
+    }
+}
+
+/// Swaps two qubits by exchanging basis-state amplitudes.
+pub fn swap_qubits(state: &mut State, a: u32, b: u32) {
+    if a == b {
+        return;
+    }
+    let (am, bm) = (1usize << a, 1usize << b);
+    for i in 0..state.amps.len() {
+        let bit_a = (i & am) != 0;
+        let bit_b = (i & bm) != 0;
+        if bit_a && !bit_b {
+            state.amps.swap(i, i ^ am ^ bm);
+        }
+    }
+}
+
+/// Dense multiprecision complex matrix multiplication — the headline ZKCM
+/// kernel. Row-major square matrices.
+///
+/// # Panics
+///
+/// Panics if the dimensions are inconsistent.
+pub fn matmul(
+    ctx: &FixedCtx,
+    session: &Session,
+    a: &[FixedComplex],
+    b: &[FixedComplex],
+    n: usize,
+) -> Vec<FixedComplex> {
+    assert_eq!(a.len(), n * n, "A must be n×n");
+    assert_eq!(b.len(), n * n, "B must be n×n");
+    let mut out = vec![ctx.czero(); n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = ctx.czero();
+            for k in 0..n {
+                let p = ctx.cmul(session, &a[i * n + k], &b[k * n + j]);
+                acc = ctx.cadd(session, &acc, &p);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: u64 = 192;
+
+    #[test]
+    fn bell_state_amplitudes() {
+        let s = Session::software();
+        let st = ghz(2, SCALE, &s);
+        let c = st.ctx;
+        // |00⟩ and |11⟩ at 1/√2; |01⟩, |10⟩ at 0.
+        let amp0 = c.to_f64(&st.amps[0].re);
+        let amp3 = c.to_f64(&st.amps[3].re);
+        assert!((amp0 - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((amp3 - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(c.to_f64(&st.amps[1].re).abs() < 1e-12);
+        assert!(c.to_f64(&st.amps[2].re).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_twice_is_identity() {
+        let s = Session::software();
+        let mut st = State::zero_state(1, SCALE);
+        st.hadamard(&s, 0);
+        st.hadamard(&s, 0);
+        let c = st.ctx;
+        // Check in fixed point: the error must be far below 2^-100 — a
+        // precision f64 could never certify (that is the point of zkcm).
+        let err = s.sub_int(&c.one(), &st.amps[0].re);
+        assert!(
+            err.magnitude().bit_len() < SCALE - 100,
+            "amp error has {} bits at scale {SCALE}",
+            err.magnitude().bit_len()
+        );
+        assert!(st.amps[1].re.magnitude().bit_len() < SCALE - 100);
+    }
+
+    #[test]
+    fn ghz_norm_is_preserved_at_high_precision() {
+        let s = Session::software();
+        let st = ghz(4, SCALE, &s);
+        let n = st.norm_sq(&s);
+        let err = (st.ctx.to_f64(&n) - 1.0).abs();
+        // Fixed point at 192 fraction bits: error far below f64 epsilon.
+        assert!(err < 1e-15, "norm error {err}");
+    }
+
+    #[test]
+    fn phase_gate_preserves_norm() {
+        let s = Session::software();
+        let mut st = ghz(2, SCALE, &s);
+        let c = st.ctx;
+        // θ = π/3: cos = 0.5, sin = √3/2.
+        let cos = c.from_f64(0.5);
+        let sin = Int::from_nat(
+            (Nat::from(3u64) * Nat::power_of_two(2 * SCALE - 2)).isqrt(),
+        );
+        st.phase(&s, 0, &cos, &sin);
+        let n = st.norm_sq(&s);
+        assert!((c.to_f64(&n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let s = Session::software();
+        let c = FixedCtx::new(SCALE);
+        let n = 3;
+        let mut ident = vec![c.czero(); n * n];
+        for i in 0..n {
+            ident[i * n + i] = FixedComplex {
+                re: c.one(),
+                im: Int::zero(),
+            };
+        }
+        let a: Vec<FixedComplex> = (0..n * n)
+            .map(|i| c.cfrom_f64(i as f64 * 0.25, -(i as f64) * 0.5))
+            .collect();
+        let p = matmul(&c, &s, &a, &ident, n);
+        for (x, y) in p.iter().zip(&a) {
+            assert!((c.to_f64(&x.re) - c.to_f64(&y.re)).abs() < 1e-10);
+            assert!((c.to_f64(&x.im) - c.to_f64(&y.im)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matmul_associativity_high_precision() {
+        let s = Session::software();
+        let c = FixedCtx::new(SCALE);
+        let n = 2;
+        let a: Vec<FixedComplex> = (0..4).map(|i| c.cfrom_f64(0.5 + i as f64, 0.25)).collect();
+        let b: Vec<FixedComplex> = (0..4).map(|i| c.cfrom_f64(1.0 - i as f64, -0.5)).collect();
+        let d: Vec<FixedComplex> = (0..4).map(|i| c.cfrom_f64(0.125 * i as f64, 2.0)).collect();
+        let left = matmul(&c, &s, &matmul(&c, &s, &a, &b, n), &d, n);
+        let right = matmul(&c, &s, &a, &matmul(&c, &s, &b, &d, n), n);
+        for (x, y) in left.iter().zip(&right) {
+            assert!((c.to_f64(&x.re) - c.to_f64(&y.re)).abs() < 1e-9);
+            assert!((c.to_f64(&x.im) - c.to_f64(&y.im)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ghz_measurements_are_all_zero_or_all_one() {
+        use rand::SeedableRng;
+        let s = Session::software();
+        let st = ghz(3, SCALE, &s);
+        let probs = st.probabilities(&s);
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[7] - 0.5).abs() < 1e-12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 8];
+        for _ in 0..200 {
+            counts[st.measure(&s, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1..7].iter().sum::<u32>(), 0, "only |000⟩ and |111⟩");
+        assert!(counts[0] > 50 && counts[7] > 50, "both branches sampled");
+    }
+
+    #[test]
+    fn qft_of_zero_state_is_uniform_superposition() {
+        // QFT|0…0⟩ = (1/√N) Σ|k⟩: every amplitude equals 1/√N, phase 0.
+        let s = Session::software();
+        let mut st = State::zero_state(3, SCALE);
+        qft(&mut st, &s);
+        let c = st.ctx;
+        let expect = 1.0 / (8.0f64).sqrt();
+        for (k, amp) in st.amps.iter().enumerate() {
+            assert!(
+                (c.to_f64(&amp.re) - expect).abs() < 1e-12,
+                "re[{k}] = {}",
+                c.to_f64(&amp.re)
+            );
+            assert!(c.to_f64(&amp.im).abs() < 1e-12, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn qft_of_basis_state_has_expected_phases() {
+        // QFT|1⟩ on n qubits: amplitude_k = ω^k/√N with ω = e^{2πi/N}.
+        let s = Session::software();
+        let mut st = State::zero_state(2, SCALE);
+        st.amps.swap(0, 1); // |01⟩ = basis state 1
+        qft(&mut st, &s);
+        let c = st.ctx;
+        let n = 4.0f64;
+        for (k, amp) in st.amps.iter().enumerate() {
+            let angle = 2.0 * std::f64::consts::PI * k as f64 / n;
+            assert!(
+                (c.to_f64(&amp.re) - angle.cos() / 2.0).abs() < 1e-9,
+                "re[{k}]"
+            );
+            assert!(
+                (c.to_f64(&amp.im) - angle.sin() / 2.0).abs() < 1e-9,
+                "im[{k}]"
+            );
+        }
+    }
+
+    #[test]
+    fn qft_preserves_norm() {
+        let s = Session::software();
+        let mut st = ghz(4, SCALE, &s);
+        qft(&mut st, &s);
+        let norm = st.norm_sq(&s);
+        assert!((st.ctx.to_f64(&norm) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn swap_is_involution() {
+        let s = Session::software();
+        let mut st = ghz(3, SCALE, &s);
+        let before = st.amps.clone();
+        swap_qubits(&mut st, 0, 2);
+        swap_qubits(&mut st, 0, 2);
+        assert_eq!(st.amps, before);
+    }
+
+    #[test]
+    fn device_backend_ghz_matches() {
+        let sw = Session::software();
+        let hw = Session::cambricon_p();
+        let a = ghz(3, SCALE, &sw);
+        let b = ghz(3, SCALE, &hw);
+        assert_eq!(a.amps, b.amps);
+    }
+}

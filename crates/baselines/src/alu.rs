@@ -1,0 +1,74 @@
+//! Monolithic wide-multiplier scaling (§III): why a naive 512-bit ALU is
+//! a dead end, motivating the bit-serial design.
+//!
+//! The paper reports, for 16 nm CMOS, that a 512-bit integer multiplier
+//! versus a 32-bit one costs **521.67× more energy, 189.36× more area**
+//! and is **5.74× slower**, with the 512-bit design occupying 0.16 mm².
+//! Those anchors fix the exponents of the power-law model below
+//! (Dadda/Wallace partial-product arrays grow ~n², wiring congestion
+//! pushes the exponents higher).
+
+/// Reference width the model is normalized to.
+pub const BASE_BITS: u32 = 32;
+
+/// Area of the 32-bit reference multiplier in mm² (derived from the
+/// paper's 0.16 mm² at 512 bits / 189.36).
+pub const BASE_AREA_MM2: f64 = 0.16 / 189.36;
+
+/// Scaling exponents fitted to the paper's 512-vs-32-bit anchors:
+/// 16^e = ratio ⇒ e = log₁₆(ratio).
+const AREA_EXP: f64 = 1.8920; // log16(189.36)
+const ENERGY_EXP: f64 = 2.2571; // log16(521.67)
+const DELAY_EXP: f64 = 0.6300; // log16(5.74)
+
+fn ratio(bits: u32, exp: f64) -> f64 {
+    (f64::from(bits) / f64::from(BASE_BITS)).powf(exp)
+}
+
+/// Area of an n-bit combinational multiplier relative to 32-bit.
+pub fn area_ratio(bits: u32) -> f64 {
+    ratio(bits, AREA_EXP)
+}
+
+/// Energy per operation relative to 32-bit.
+pub fn energy_ratio(bits: u32) -> f64 {
+    ratio(bits, ENERGY_EXP)
+}
+
+/// Critical-path delay relative to 32-bit.
+pub fn delay_ratio(bits: u32) -> f64 {
+    ratio(bits, DELAY_EXP)
+}
+
+/// Absolute area in mm² at 16 nm.
+pub fn area_mm2(bits: u32) -> f64 {
+    BASE_AREA_MM2 * area_ratio(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchors_reproduced() {
+        assert!((area_ratio(512) - 189.36).abs() / 189.36 < 0.01);
+        assert!((energy_ratio(512) - 521.67).abs() / 521.67 < 0.01);
+        assert!((delay_ratio(512) - 5.74).abs() / 5.74 < 0.01);
+        assert!((area_mm2(512) - 0.16).abs() / 0.16 < 0.01);
+    }
+
+    #[test]
+    fn base_case_is_unity() {
+        assert!((area_ratio(32) - 1.0).abs() < 1e-12);
+        assert!((energy_ratio(32) - 1.0).abs() < 1e-12);
+        assert!((delay_ratio(32) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_alus_explode_superquadratically() {
+        // A 4096-bit ALU would be catastrophically expensive — the whole
+        // reason Cambricon-P is bit-serial.
+        assert!(area_ratio(4096) > 5_000.0);
+        assert!(energy_ratio(4096) > 30_000.0);
+    }
+}

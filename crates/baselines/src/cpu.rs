@@ -1,0 +1,145 @@
+//! Intel Xeon 6134 + GNU GMP 6.2 cost model — the paper's primary
+//! baseline (§VI-A).
+//!
+//! Calibration anchors:
+//! - peak 11.1 Gops INT64 on scalar single-core (§VI-A);
+//! - measured hardware utilization 19.1% over APC workloads (§I, §II-B);
+//! - 4096×4096-bit multiplication around 1.6 µs, which yields the paper's
+//!   ~101× headline device speedup at that size (§VII-B, Table III);
+//! - GMP's fast-algorithm thresholds (in 64-bit limbs: Toom22 ≈ 30,
+//!   Toom33 ≈ 100, Toom44 ≈ 300, Toom6h ≈ 350, FFT ≈ 4500 — the stock
+//!   x86-64 tuning).
+
+use crate::SystemProfile;
+
+/// The Xeon 6134 system profile (area estimated from the die photo as in
+/// Table III).
+pub fn profile() -> SystemProfile {
+    SystemProfile {
+        name: "Xeon 6134 (GMP)",
+        technology: "Intel 14 nm",
+        area_mm2: 17.94, // one core + slice, Table III (~9.49× Cambricon-P)
+        power_w: 7.43,
+        bandwidth_gbs: 128.0, // L1D, Table III
+    }
+}
+
+/// Effective limb-MAC rate inside the multiply kernels: the hand-tuned
+/// GMP basecase sustains ~0.5 mul-adc chains per cycle at the 3.7 GHz
+/// turbo clock (the 19.1% utilization figure is application-wide and is
+/// reflected in the app-level models, not the kernel rate). Calibrated so
+/// a 4096-bit multiply lands near 1.6 µs → the paper's ~101× device
+/// speedup.
+const EFFECTIVE_MACS_PER_SEC: f64 = 2.2e9;
+
+/// Linear-pass rate for O(n) operators (add/sub/shift): a few limbs per
+/// cycle with load/store overhead.
+const LINEAR_LIMBS_PER_SEC: f64 = 2.5e9;
+
+/// GMP algorithm thresholds in bits.
+const TOOM22: u64 = 30 * 64;
+const TOOM33: u64 = 100 * 64;
+const TOOM44: u64 = 300 * 64;
+const TOOM6H: u64 = 350 * 64;
+const FFT: u64 = 4500 * 64;
+
+/// Seconds for an `n × n`-bit multiplication under GMP's ladder.
+///
+/// ```
+/// let t = apc_baselines::cpu::mul_seconds(4096);
+/// assert!(t > 1.0e-6 && t < 3.0e-6, "≈1.6 µs at 4096 bits, got {t}");
+/// ```
+pub fn mul_seconds(bits: u64) -> f64 {
+    let n = bits.max(64);
+    if n < TOOM22 {
+        // Schoolbook: (n/64)² limb MACs.
+        let limbs = (n as f64) / 64.0;
+        limbs * limbs / EFFECTIVE_MACS_PER_SEC
+    } else if n < TOOM33 {
+        3.0 * mul_seconds(n / 2 + 32) + linear_seconds(8 * n)
+    } else if n < TOOM44 {
+        5.0 * mul_seconds(n / 3 + 32) + linear_seconds(16 * n)
+    } else if n < TOOM6H {
+        7.0 * mul_seconds(n / 4 + 32) + linear_seconds(24 * n)
+    } else if n < FFT {
+        11.0 * mul_seconds(n / 6 + 32) + linear_seconds(40 * n)
+    } else {
+        // Schönhage–Strassen with GMP's fine-grained parameter tuning
+        // (smooth curve, no padding zigzag): K ≈ √n pieces over a ring of
+        // ~2√n bits, recursively multiplied.
+        let total = 2 * n;
+        let log_k = (63 - total.leading_zeros() as u64) / 2;
+        let k = 1u64 << log_k;
+        let piece = total.div_ceil(k);
+        let ring = 2 * piece + log_k + 2;
+        3.0 * k as f64 * log_k as f64 * linear_seconds(ring)
+            + k as f64 * mul_seconds(ring)
+            + linear_seconds(4 * total)
+    }
+}
+
+/// Seconds for an O(n) pass over `bits` bits.
+pub fn linear_seconds(bits: u64) -> f64 {
+    (bits as f64 / 64.0) / LINEAR_LIMBS_PER_SEC
+}
+
+/// Seconds for an `a/b` division (divide-and-conquer, ~4 multiplies of
+/// the divisor size plus linear work).
+pub fn div_seconds(num_bits: u64, den_bits: u64) -> f64 {
+    let n = num_bits.max(den_bits);
+    4.0 * mul_seconds(den_bits.max(64)) + linear_seconds(n)
+}
+
+/// Seconds for an n-bit square root (Karatsuba sqrt ≈ 2.5 multiplies at
+/// half size plus a division ladder).
+pub fn sqrt_seconds(bits: u64) -> f64 {
+    2.5 * mul_seconds(bits / 2 + 64) + div_seconds(bits, bits / 2 + 64)
+}
+
+/// Energy for a run of `seconds` (active-power model, as measured via the
+/// idle/busy differential in §VI-A).
+pub fn energy_joules(seconds: f64) -> f64 {
+    seconds * profile().power_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_anchor_4096() {
+        let t = mul_seconds(4096);
+        // Device does 4096 bits in 16 ns → CPU/device ratio ≈ 100×.
+        let ratio = t / 1.6e-8;
+        assert!(
+            (60.0..220.0).contains(&ratio),
+            "speedup anchor ≈ 101×, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn complexity_shape() {
+        // Doubling the size below the Toom thresholds roughly quadruples
+        // time; in the FFT range it grows ≈ n·log n.
+        let small_ratio = mul_seconds(1024) / mul_seconds(512);
+        assert!(small_ratio > 3.0 && small_ratio < 5.0, "{small_ratio}");
+        let fft_ratio = mul_seconds(8_000_000) / mul_seconds(4_000_000);
+        assert!(fft_ratio > 1.7 && fft_ratio < 3.6, "{fft_ratio}");
+    }
+
+    #[test]
+    fn monotone_in_bits() {
+        let mut prev = 0.0;
+        for bits in [64u64, 1000, 10_000, 100_000, 1_000_000, 10_000_000] {
+            let t = mul_seconds(bits);
+            assert!(t > prev, "bits={bits}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn division_costs_more_than_multiplication() {
+        assert!(div_seconds(10_000, 10_000) > mul_seconds(10_000));
+        assert!(sqrt_seconds(10_000) > mul_seconds(5_000));
+    }
+}

@@ -1,0 +1,96 @@
+//! NVIDIA V100 + CGBN cost model (§VI-A, Table III).
+//!
+//! CGBN only supports *batched* fixed-size multiplication; the paper
+//! therefore reports amortized per-multiplication time over a batch of
+//! 100,000 (Table III) / 10,000 (§VI-A). Calibration anchors:
+//! - 4096×4096 bits amortized over 100,000: 1.56×10⁻⁸ s;
+//! - 815 mm², 220.58 W, 900 GB/s HBM;
+//! - general-purpose (non-batchable) APC runs 32.2× slower than the
+//!   single-core CPU baseline (Figure 2, left).
+
+use crate::SystemProfile;
+
+/// The V100 system profile.
+pub fn profile() -> SystemProfile {
+    SystemProfile {
+        name: "V100 (CGBN)",
+        technology: "TSMC 12 nm",
+        area_mm2: 815.0,
+        power_w: 220.58,
+        bandwidth_gbs: 900.0,
+    }
+}
+
+/// Amortized per-multiplication seconds at Table III's calibration point.
+const AMORTIZED_4096: f64 = 1.56e-8;
+
+/// Kernel-launch plus batch-marshalling overhead per kernel invocation.
+const LAUNCH_OVERHEAD: f64 = 8.0e-6;
+
+/// Largest operand CGBN handles natively (32k bits).
+pub const MAX_BITS: u64 = 32_768;
+
+/// Amortized seconds per multiplication of `bits × bits` over a batch of
+/// `batch` independent multiplications. Returns `None` above CGBN's size
+/// limit — V100+CGBN simply cannot run the large monolithic sizes of
+/// Figure 11, which is why its curve stops.
+///
+/// ```
+/// use apc_baselines::gpu::amortized_mul_seconds;
+/// let t = amortized_mul_seconds(4096, 100_000).unwrap();
+/// assert!((t - 1.56e-8).abs() / 1.56e-8 < 0.2);
+/// assert!(amortized_mul_seconds(100_000, 100).is_none());
+/// ```
+pub fn amortized_mul_seconds(bits: u64, batch: u64) -> Option<f64> {
+    if bits > MAX_BITS || bits == 0 || batch == 0 {
+        return None;
+    }
+    // Throughput scales ~quadratically in operand size (schoolbook across
+    // cooperative threads) until occupancy runs out for small batches.
+    let size_factor = (bits as f64 / 4096.0).powf(1.85);
+    let per_op = AMORTIZED_4096 * size_factor;
+    // Small batches cannot fill the machine: throughput degrades linearly
+    // below ~10k concurrent multiplications.
+    let occupancy = (batch as f64 / 10_000.0).min(1.0);
+    Some(per_op / occupancy + LAUNCH_OVERHEAD / batch as f64)
+}
+
+/// Figure 2 (left): general APC applications on V100+XMP run this many
+/// times *slower* than single-thread Xeon+GMP.
+pub fn general_apc_slowdown() -> f64 {
+    32.2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_amortization_helps() {
+        let small = amortized_mul_seconds(4096, 10).unwrap();
+        let large = amortized_mul_seconds(4096, 100_000).unwrap();
+        assert!(small > 50.0 * large, "{small} vs {large}");
+    }
+
+    #[test]
+    fn size_scaling_superlinear() {
+        let t1 = amortized_mul_seconds(4096, 100_000).unwrap();
+        let t2 = amortized_mul_seconds(8192, 100_000).unwrap();
+        assert!(t2 / t1 > 2.0 && t2 / t1 < 8.0);
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        assert!(amortized_mul_seconds(MAX_BITS, 1000).is_some());
+        assert!(amortized_mul_seconds(MAX_BITS + 1, 1000).is_none());
+    }
+
+    #[test]
+    fn matches_cambricon_throughput_at_table3_point() {
+        // Table III: V100's amortized time (1.56e-8) ≈ Cambricon-P's
+        // 1.60e-8 — "the same throughput".
+        let t = amortized_mul_seconds(4096, 100_000).unwrap();
+        let rel = t / 1.60e-8;
+        assert!((0.8..1.2).contains(&rel), "rel={rel}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! BIPS vs plain bit-serial MAC, carry-parallel vs sequential gathering
+//! (cycle models), q sweep, limb width, and MPApca threshold placement.
+
+use apc_bignum::Nat;
+use cambricon_p::converter::generate_patterns;
+use cambricon_p::gu;
+use cambricon_p::ipu::{bit_indexed_inner_product, plain_bit_serial_inner_product};
+use cambricon_p::mpapca::{Device, MpapcaThresholds};
+use cambricon_p::ArchConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+}
+
+/// BIPS vs the plain bit-serial scheme on identical inputs — both the
+/// functional runtime and (via the returned tallies) the bops.
+fn ablation_bips(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10);
+    let xs: Vec<Nat> = (0..4).map(|_| Nat::random_bits(32, &mut rng)).collect();
+    let ys: Vec<Nat> = (0..4).map(|_| Nat::random_bits(32, &mut rng)).collect();
+    let mut group = c.benchmark_group("ablation_bips");
+    tune(&mut group);
+    group.bench_function("bips", |b| {
+        b.iter(|| {
+            let p = generate_patterns(&xs, 32);
+            bit_indexed_inner_product(&p, &ys, 32)
+        })
+    });
+    group.bench_function("plain_skip_zeros", |b| {
+        b.iter(|| plain_bit_serial_inner_product(&xs, &ys, 32, true))
+    });
+    group.bench_function("plain_dense", |b| {
+        b.iter(|| plain_bit_serial_inner_product(&xs, &ys, 32, false))
+    });
+    group.finish();
+}
+
+/// Carry-parallel vs naive sequential gathering: functional model runtime
+/// plus the cycle-model comparison printed once.
+fn ablation_carry(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let partials: Vec<Nat> = (0..32).map(|_| Nat::random_bits(64, &mut rng)).collect();
+    // Cycle models (the hardware-relevant comparison): resolving the
+    // carry chain costs one select per section in parallel mode versus a
+    // full L-bit adder delay per section sequentially; the parallel
+    // gather is then streaming-bound, never carry-bound.
+    let sections = 33u64;
+    let seq = gu::cycles_sequential(sections as usize, 32);
+    assert!(sections < seq, "select wave beats the ripple chain");
+    let par_total = gu::cycles_carry_parallel(32 * 32 + 64, 32);
+    assert!(par_total < seq + 200, "parallel gather is streaming-bound");
+    let mut group = c.benchmark_group("ablation_carry");
+    tune(&mut group);
+    group.bench_function("carry_parallel", |b| {
+        b.iter(|| gu::gather_carry_parallel(&partials, 32))
+    });
+    group.bench_function("reference_sequential", |b| {
+        b.iter(|| gu::gather_reference(&partials, 32))
+    });
+    group.finish();
+}
+
+/// q sweep: Converter + IPU cost as q moves off the λ-optimal 4.
+fn ablation_q(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut group = c.benchmark_group("ablation_q");
+    tune(&mut group);
+    for q in [2usize, 4, 8] {
+        let xs: Vec<Nat> = (0..q).map(|_| Nat::random_bits(32, &mut rng)).collect();
+        let ys: Vec<Nat> = (0..q).map(|_| Nat::random_bits(32, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, _| {
+            b.iter(|| {
+                let p = generate_patterns(&xs, 32);
+                bit_indexed_inner_product(&p, &ys, 32)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// MPApca threshold ablation: cycle cost of a 200k-bit multiply when the
+/// Toom thresholds are shifted (pure model evaluation, no bignum work).
+fn ablation_thresholds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_thresholds");
+    tune(&mut group);
+    let configs = [
+        ("default", MpapcaThresholds::default()),
+        (
+            "early_ssa",
+            MpapcaThresholds {
+                ssa: 300_000,
+                ..MpapcaThresholds::default()
+            },
+        ),
+        (
+            "no_toom",
+            MpapcaThresholds {
+                toom3: 36_000,
+                toom4: 36_001,
+                toom6: 36_002,
+                ssa: 36_003,
+                ..MpapcaThresholds::default()
+            },
+        ),
+    ];
+    for (name, th) in configs {
+        let device = Device::new(ArchConfig::default()).with_thresholds(th);
+        group.bench_function(name, |b| b.iter(|| device.mul_cycles(200_000, 200_000)));
+    }
+    group.finish();
+}
+
+/// Limb-width ablation: the device's monolithic cycle cost and the
+/// CPU-side intermediate volume as L varies — coarser limbs cut both
+/// (the §II-C inspiration quantified as a bench).
+fn ablation_limb_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_limb_width");
+    tune(&mut group);
+    for limb_bits in [8u32, 16, 32, 64] {
+        let device = Device::new(ArchConfig {
+            limb_bits,
+            ..ArchConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("device_cycles_model", limb_bits),
+            &limb_bits,
+            |b, _| b.iter(|| device.mul_cycles(35_904, 35_904)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("karatsuba_intermediates", limb_bits),
+            &limb_bits,
+            |b, &l| {
+                b.iter(|| {
+                    apc_bignum::nat::mul::karatsuba_intermediate_bytes(
+                        1_000_000,
+                        u64::from(l),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+    // The monotone relationships behind the bench (checked once):
+    let coarse = Device::new(ArchConfig {
+        limb_bits: 64,
+        ..ArchConfig::default()
+    });
+    let fine = Device::new(ArchConfig {
+        limb_bits: 8,
+        ..ArchConfig::default()
+    });
+    assert!(
+        fine.mul_cycles(35_904, 35_904) > coarse.mul_cycles(35_904, 35_904),
+        "finer limbs need more cycles at equal IPU count"
+    );
+}
+
+criterion_group!(
+    benches,
+    ablation_bips,
+    ablation_carry,
+    ablation_q,
+    ablation_thresholds,
+    ablation_limb_width
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches for the four applications at small scales (the
+//! Figure 13 point measurements come from the fig13_apps binary; these
+//! track kernel-level regressions).
+
+use apc_apps::backend::Session;
+use apc_apps::complex::FixedCtx;
+use apc_apps::{frac, pi, rsa, zkcm};
+use apc_bignum::Nat;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+}
+
+fn bench_pi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("app_pi");
+    tune(&mut group);
+    group.bench_function("1000_digits", |b| {
+        b.iter(|| {
+            let s = Session::software();
+            pi::chudnovsky_pi(1000, &s)
+        })
+    });
+    group.finish();
+}
+
+fn bench_frac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("app_frac");
+    tune(&mut group);
+    group.bench_function("8x8_512bit", |b| {
+        b.iter(|| {
+            let s = Session::software();
+            frac::render_perturbation(-0.6, 0.45, 0.02, 8, 8, 200, 512, &s)
+        })
+    });
+    group.finish();
+}
+
+fn bench_zkcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("app_zkcm");
+    tune(&mut group);
+    group.bench_function("ghz5_1024bit", |b| {
+        b.iter(|| {
+            let s = Session::software();
+            zkcm::ghz(5, 1024, &s)
+        })
+    });
+    group.bench_function("matmul4_1024bit", |b| {
+        let s = Session::software();
+        let ctx = FixedCtx::new(1024);
+        let a: Vec<_> = (0..16).map(|i| ctx.cfrom_f64(0.1 * i as f64, 0.2)).collect();
+        let m: Vec<_> = (0..16).map(|i| ctx.cfrom_f64(1.0, -0.1 * i as f64)).collect();
+        b.iter(|| zkcm::matmul(&ctx, &s, &a, &m, 4))
+    });
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(20);
+    let key = rsa::generate(512, &mut rng);
+    let msg = Nat::random_below(&key.n, &mut rng);
+    let mut group = c.benchmark_group("app_rsa");
+    tune(&mut group);
+    group.bench_function("encrypt_512", |b| {
+        let s = Session::software();
+        b.iter(|| rsa::encrypt(&key, &msg, &s))
+    });
+    let cipher = {
+        let s = Session::software();
+        rsa::encrypt(&key, &msg, &s)
+    };
+    group.bench_function("decrypt_512", |b| {
+        let s = Session::software();
+        b.iter(|| rsa::decrypt(&key, &cipher, &s))
+    });
+    group.bench_function("decrypt_crt_512", |b| {
+        let s = Session::software();
+        b.iter(|| rsa::decrypt_crt(&key, &cipher, &s))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pi, bench_frac, bench_zkcm, bench_rsa);
+criterion_main!(benches);

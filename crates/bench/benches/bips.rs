@@ -1,0 +1,89 @@
+//! Criterion benches for the BIPS pipeline stages: pattern generation
+//! (Converter), bit-indexed accumulation (IPU), carry-parallel gathering
+//! (GU), and the full structural device multiply.
+
+use apc_bignum::Nat;
+use cambricon_p::accelerator::Accelerator;
+use cambricon_p::converter::generate_patterns;
+use cambricon_p::gu::gather_carry_parallel;
+use cambricon_p::ipu::bit_indexed_inner_product;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+}
+
+fn bench_converter(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("converter_patterns");
+    tune(&mut group);
+    for q in [2usize, 4, 6] {
+        let xs: Vec<Nat> = (0..q).map(|_| Nat::random_bits(32, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |bench, _| {
+            bench.iter(|| generate_patterns(&xs, 32))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ipu(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("ipu_inner_product");
+    tune(&mut group);
+    let xs: Vec<Nat> = (0..4).map(|_| Nat::random_bits(32, &mut rng)).collect();
+    let patterns = generate_patterns(&xs, 32);
+    for index_bits in [32u64, 128, 512] {
+        let ys: Vec<Nat> = (0..4)
+            .map(|_| Nat::random_bits(index_bits, &mut rng))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(index_bits),
+            &index_bits,
+            |bench, _| bench.iter(|| bit_indexed_inner_product(&patterns, &ys, index_bits)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gu(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut group = c.benchmark_group("gu_gather");
+    tune(&mut group);
+    for ipus in [8usize, 32, 128] {
+        let partials: Vec<Nat> = (0..ipus).map(|_| Nat::random_bits(64, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(ipus), &ipus, |bench, _| {
+            bench.iter(|| gather_carry_parallel(&partials, 32))
+        });
+    }
+    group.finish();
+}
+
+fn bench_structural_multiply(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut group = c.benchmark_group("structural_device_mul");
+    tune(&mut group);
+    let acc = Accelerator::new_default();
+    for bits in [512u64, 2048] {
+        let a = Nat::random_exact_bits(bits, &mut rng);
+        let b = Nat::random_exact_bits(bits, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| acc.multiply(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_converter,
+    bench_ipu,
+    bench_gu,
+    bench_structural_multiply
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for division and square root (the other Table I
+//! operators).
+
+use apc_bignum::Nat;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_divrem(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("divrem");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for limbs in [64usize, 256, 1024] {
+        let d = Nat::random_exact_bits(limbs as u64 * 64, &mut rng);
+        let q = Nat::random_exact_bits(limbs as u64 * 64, &mut rng);
+        let u = &d * &q;
+        group.bench_with_input(BenchmarkId::from_parameter(limbs), &limbs, |bench, _| {
+            bench.iter(|| u.divrem(&d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sqrt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("sqrt_rem");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for limbs in [64usize, 256, 1024] {
+        let n = Nat::random_exact_bits(limbs as u64 * 64, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(limbs), &limbs, |bench, _| {
+            bench.iter(|| n.sqrt_rem())
+        });
+    }
+    group.finish();
+}
+
+fn bench_radix(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("to_decimal");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for bits in [10_000u64, 100_000] {
+        let n = Nat::random_exact_bits(bits, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| n.to_decimal_string())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_divrem, bench_sqrt, bench_radix);
+criterion_main!(benches);

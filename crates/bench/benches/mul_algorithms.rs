@@ -1,0 +1,60 @@
+//! Criterion benches for the multiplication ladder (feeds Table I /
+//! Figure 11 point measurements).
+
+use apc_bignum::{MulAlgorithm, Nat};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_mul_ladder(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("mul_ladder");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for limbs in [64usize, 256, 1024] {
+        let a = Nat::random_exact_bits(limbs as u64 * 64, &mut rng);
+        let b = Nat::random_exact_bits(limbs as u64 * 64, &mut rng);
+        for alg in [
+            MulAlgorithm::Schoolbook,
+            MulAlgorithm::Karatsuba,
+            MulAlgorithm::Toom3,
+            MulAlgorithm::Toom4,
+            MulAlgorithm::Toom6,
+            MulAlgorithm::Ssa,
+        ] {
+            // Schoolbook above 256 limbs is too slow for CI budgets.
+            if alg == MulAlgorithm::Schoolbook && limbs > 256 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("{alg:?}"), limbs),
+                &limbs,
+                |bench, _| bench.iter(|| a.mul_with(&b, alg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_auto_dispatch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("mul_auto");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for bits in [4_096u64, 65_536, 1_048_576] {
+        let a = Nat::random_exact_bits(bits, &mut rng);
+        let b = Nat::random_exact_bits(bits, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bench, _| {
+            bench.iter(|| &a * &b)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mul_ladder, bench_auto_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Batch-processing throughput: Cambricon-P vs V100+CGBN across batch
+//! sizes (the generality argument of §VII-B — CGBN *only* works batched,
+//! Cambricon-P is fast at batch = 1 and batch = 100,000 alike).
+
+use apc_bench::{fmt_seconds, header};
+use apc_bignum::Nat;
+use cambricon_p::mpapca::Device;
+
+fn main() {
+    header("Batch multiplication throughput at 4096 bits: Cambricon-P vs V100+CGBN");
+    println!(
+        "{:>9} {:>16} {:>16} {:>12}",
+        "batch", "CamP per-mul", "CGBN per-mul", "CamP/CGBN"
+    );
+    for batch in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+        // Model a batch on the device (use a small representative sample
+        // of actual multiplications, then scale the cycle count linearly —
+        // the model is per-op additive).
+        let device = Device::new_default();
+        let sample = 4.min(batch);
+        let pairs: Vec<(Nat, Nat)> = (0..sample)
+            .map(|i| {
+                (
+                    Nat::power_of_two(4096) - Nat::from(2 * i + 1),
+                    Nat::power_of_two(4095) + Nat::from(i + 1),
+                )
+            })
+            .collect();
+        let _ = device.batch_mul(&pairs);
+        // Bit-serial streaming: per-op cost is batch-size independent.
+        let cam_per_mul = device.seconds() / sample as f64;
+
+        let cgbn = apc_baselines::gpu::amortized_mul_seconds(4096, batch);
+        let (cgbn_str, ratio) = match cgbn {
+            Some(t) => (fmt_seconds(t), format!("{:.2}x", cam_per_mul / t)),
+            None => ("-".into(), "-".into()),
+        };
+        println!(
+            "{batch:>9} {:>16} {:>16} {:>12}",
+            fmt_seconds(cam_per_mul),
+            cgbn_str,
+            ratio
+        );
+    }
+    println!();
+    println!("At batch = 100,000 the two systems converge (Table III: 1.60e-8 vs");
+    println!("1.56e-8 s — 'the same throughput'); at small batches CGBN collapses");
+    println!("(kernel-launch amortization + occupancy) while Cambricon-P is flat —");
+    println!("carry parallel computing lets its PEs concatenate into one monolithic");
+    println!("multiplier, so it does not *need* batching (§VII-B).");
+}

@@ -1,0 +1,51 @@
+//! §IV-B benefit analysis: the bops ratio λ(q) of BIPS versus the
+//! straightforward bit-serial scheme, analytically and as measured on the
+//! functional units with random data.
+//!
+//! Paper: λ = (1 + (2^q − 1)/p_y)/q with λ_min = 0.367 at q = 4 for
+//! p_y = 32 — which is why the hardware processes 4 bitflows in parallel.
+
+use apc_bench::header;
+use apc_bignum::Nat;
+use cambricon_p::bops::{lambda, optimal_q};
+use cambricon_p::converter::generate_patterns;
+use cambricon_p::ipu::bit_indexed_inner_product;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn measured_lambda(q: u32, p_bits: u64, trials: u32, rng: &mut StdRng) -> f64 {
+    let mut total = cambricon_p::bops::BopsTally::default();
+    for _ in 0..trials {
+        let xs: Vec<Nat> = (0..q).map(|_| Nat::random_bits(p_bits, rng)).collect();
+        let ys: Vec<Nat> = (0..q).map(|_| Nat::random_bits(p_bits, rng)).collect();
+        let patterns = generate_patterns(&xs, p_bits);
+        let out = bit_indexed_inner_product(&patterns, &ys, p_bits);
+        total.merge(patterns.tally());
+        total.merge(&out.tally);
+    }
+    total.measured_lambda()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4);
+    header("λ(q): BIPS bops relative to straightforward bit-serial (p_y = 32)");
+    println!("{:>3} {:>12} {:>12}", "q", "analytic λ", "measured λ");
+    for q in 1..=8u32 {
+        let analytic = lambda(q, 32.0);
+        let measured = measured_lambda(q, 32, 24, &mut rng);
+        let marker = if q == 4 { "  <- minimum (paper: 0.367)" } else { "" };
+        println!("{q:>3} {analytic:>12.4} {measured:>12.4}{marker}");
+    }
+    println!();
+    println!(
+        "optimal q for p_y = 32: {} (paper picks q = 4)",
+        optimal_q(32.0, 8)
+    );
+
+    header("λ sensitivity to the index width p_y");
+    println!("{:>6} {:>10} {:>12}", "p_y", "optimal q", "λ at optimum");
+    for p in [8u32, 16, 32, 64, 128, 256] {
+        let q = optimal_q(f64::from(p), 10);
+        println!("{p:>6} {q:>10} {:>12.4}", lambda(q, f64::from(p)));
+    }
+}

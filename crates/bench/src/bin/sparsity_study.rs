@@ -1,0 +1,68 @@
+//! Bit-level redundancy study (Fig. 6): how much work BIPS saves versus
+//! plain bit-serial MACs as the *index operand density* varies — sparse
+//! operands exercise zero-skipping, dense operands exercise the repeated-
+//! computation elimination that only BIPS provides.
+
+use apc_bench::header;
+use apc_bignum::Nat;
+use cambricon_p::bops::BopsTally;
+use cambricon_p::converter::generate_patterns;
+use cambricon_p::ipu::{bit_indexed_inner_product, plain_bit_serial_inner_product};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random 32-bit value with roughly `density`·32 one-bits.
+fn random_with_density<R: Rng>(density: f64, rng: &mut R) -> Nat {
+    let mut v = 0u64;
+    for bit in 0..32 {
+        if rng.gen_bool(density) {
+            v |= 1 << bit;
+        }
+    }
+    Nat::from(v)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(6);
+    header("Bit-level redundancy: BIPS vs bit-serial across index density");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "density", "bips bops", "plain(skip0)", "plain(dense)", "bips/plain", "zero-skips"
+    );
+
+    let trials = 40;
+    for density in [0.05, 0.15, 0.30, 0.50, 0.70, 0.90, 1.00] {
+        let mut bips_total = BopsTally::default();
+        let mut skip_total = BopsTally::default();
+        let mut dense_total = BopsTally::default();
+        for _ in 0..trials {
+            let xs: Vec<Nat> = (0..4).map(|_| Nat::random_bits(32, &mut rng)).collect();
+            let ys: Vec<Nat> = (0..4)
+                .map(|_| random_with_density(density, &mut rng))
+                .collect();
+            let p = generate_patterns(&xs, 32);
+            let b = bit_indexed_inner_product(&p, &ys, 32);
+            bips_total.merge(p.tally());
+            bips_total.merge(&b.tally);
+            let s = plain_bit_serial_inner_product(&xs, &ys, 32, true);
+            skip_total.merge(&s.tally);
+            let d = plain_bit_serial_inner_product(&xs, &ys, 32, false);
+            dense_total.merge(&d.tally);
+            assert_eq!(b.value, s.value);
+        }
+        println!(
+            "{:>7.0}% {:>14} {:>14} {:>14} {:>11.3} {:>12}",
+            density * 100.0,
+            bips_total.total(),
+            skip_total.total(),
+            dense_total.total(),
+            bips_total.total() as f64 / skip_total.total().max(1) as f64,
+            bips_total.skipped_zero
+        );
+    }
+    println!();
+    println!("Sparse indexes: both schemes skip zeros, BIPS adds little.");
+    println!("Dense indexes: zero-skipping stops helping, but BIPS keeps its");
+    println!("pattern-reuse advantage (the 'repeated computations' of Fig. 6a)");
+    println!("— exactly the redundancy Bit-Tactical cannot eliminate (§VIII).");
+}

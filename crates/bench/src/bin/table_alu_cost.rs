@@ -1,0 +1,36 @@
+//! §III: the cost of naive monolithic wide multipliers — why Cambricon-P
+//! is bit-serial.
+//!
+//! Paper anchor: a 512-bit integer multiplier at 16 nm costs 521.67× more
+//! energy, 189.36× more area and runs 5.74× slower than a 32-bit one,
+//! occupying an unacceptable 0.16 mm².
+
+use apc_baselines::alu;
+use apc_bench::header;
+
+fn main() {
+    header("Wide combinational multiplier scaling (16 nm model, §III)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>12}",
+        "bits", "area ratio", "energy ratio", "delay", "area (mm2)"
+    );
+    for bits in [32u32, 64, 128, 256, 512, 1024, 2048, 4096] {
+        println!(
+            "{bits:>6} {:>11.2}x {:>11.2}x {:>9.2}x {:>12.5}",
+            alu::area_ratio(bits),
+            alu::energy_ratio(bits),
+            alu::delay_ratio(bits),
+            alu::area_mm2(bits)
+        );
+    }
+    println!();
+    println!("paper anchor at 512 bits: 189.36x area, 521.67x energy, 5.74x delay, 0.16 mm2.");
+    println!();
+    let whole_device = cambricon_p::ArchConfig::default().area_mm2;
+    println!(
+        "a single 4096-bit combinational multiplier would need {:.1} mm2 — {:.0}x the area",
+        alu::area_mm2(4096),
+        alu::area_mm2(4096) / whole_device
+    );
+    println!("of the entire 256-PE Cambricon-P, and it could not handle varying bitwidth.");
+}

@@ -1,0 +1,60 @@
+//! §VII-A hardware characteristics: the implemented design point and its
+//! derived rates.
+
+use apc_bench::header;
+use cambricon_p::ArchConfig;
+
+fn main() {
+    let c = ArchConfig::default();
+    header("Hardware characteristics (paper §VII-A)");
+    println!("technology            TSMC 16 nm");
+    println!("PEs                   {}", c.n_pe);
+    println!("IPUs per PE           {}", c.n_ipu);
+    println!("total IPUs            {}", c.total_ipus());
+    println!("bitflows per group q  {}", c.q);
+    println!("limb width L          {} bits", c.limb_bits);
+    println!("clock                 {} GHz", c.clock_ghz);
+    println!("area                  {} mm2   (paper: 1.894 mm2)", c.area_mm2);
+    println!("power                 {} W      (paper: 3.644 W)", c.power_w);
+    println!("LLC bandwidth         {} GB/s", c.llc_bandwidth_gbs);
+    println!("max monolithic mul    {} bits", c.max_monolithic_bits);
+    println!();
+    println!("derived:");
+    println!(
+        "peak limb MACs/cycle  {:.0}  (8192 IPUs x 4 MACs / 32 cycles)",
+        c.peak_limb_macs_per_cycle()
+    );
+    println!(
+        "peak bit-ops          {:.1} Tbops/s",
+        c.peak_bitops_per_second() / 1e12
+    );
+    println!(
+        "effective LLC BW      {:.0} GB/s (MA idle {:.0}% for coherence)",
+        c.effective_bandwidth_bytes() / 1e9,
+        c.ma_idle_fraction * 100.0
+    );
+    // Context from the paper: ~2.3% of a Zen3 core-complex die, ~56% of
+    // one CPU core.
+    println!();
+    println!("area context: ~2.3% of a core-complex die, ~56% of one CPU core (paper).");
+
+    // Bottom-up structural area reconciliation.
+    let breakdown = cambricon_p::area::estimate(&c, &cambricon_p::area::CellLibrary::default());
+    header("Structural gate-count area breakdown (bottom-up model)");
+    let total = breakdown.total_mm2();
+    for (name, mm2) in [
+        ("IPU array (mux trees + accumulators)", breakdown.ipus_mm2),
+        ("pattern registers", breakdown.pattern_regs_mm2),
+        ("Gather Units (FA chains + delays)", breakdown.gus_mm2),
+        ("Converters", breakdown.converters_mm2),
+        ("uncore (CC/MA/AT/buses)", breakdown.uncore_mm2),
+    ] {
+        println!("{name:<40} {mm2:>7.3} mm2  ({:>4.1}%)", mm2 / total * 100.0);
+    }
+    println!("{:-<62}", "");
+    println!(
+        "{:<40} {total:>7.3} mm2  (paper synthesis: 1.894 mm2, {:+.1}%)",
+        "total",
+        (total / 1.894 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,138 @@
+//! # apc-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md
+//! for the experiment index) plus Criterion micro-benchmarks. This library
+//! holds the shared report formatting and small statistics helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_seconds(s: f64) -> String {
+    if s == 0.0 {
+        "0".into()
+    } else if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Formats byte counts with an adaptive unit.
+pub fn fmt_bytes(b: f64) -> String {
+    if b < 1024.0 {
+        format!("{b:.0} B")
+    } else if b < 1024.0 * 1024.0 {
+        format!("{:.2} KB", b / 1024.0)
+    } else if b < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} MB", b / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2} GB", b / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// Geometric mean of a non-empty slice.
+///
+/// ```
+/// assert!((apc_bench::geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Least-squares slope of log(y) against log(x) — the empirical complexity
+/// exponent used by the Table I fits.
+///
+/// ```
+/// // y = x²
+/// let xs = [2.0, 4.0, 8.0, 16.0];
+/// let ys = [4.0, 16.0, 64.0, 256.0];
+/// assert!((apc_bench::loglog_slope(&xs, &ys) - 2.0).abs() < 1e-9);
+/// ```
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let mx = lx.iter().sum::<f64>() / lx.len() as f64;
+    let my = ly.iter().sum::<f64>() / ly.len() as f64;
+    let num: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let den: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    num / den
+}
+
+/// Times a closure, returning (result, seconds). Runs once — callers
+/// decide about repetition.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Times a closure with up to `max_reps` repetitions or until
+/// `budget_seconds` is exhausted, returning the minimum observed time.
+pub fn time_best<T>(max_reps: u32, budget_seconds: f64, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    for _ in 0..max_reps.max(1) {
+        let t0 = Instant::now();
+        let _ = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        if start.elapsed().as_secs_f64() > budget_seconds {
+            break;
+        }
+    }
+    best
+}
+
+/// Prints a section header for the experiment reports.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_seconds(1.6e-8), "16.00 ns");
+        assert_eq!(fmt_seconds(2.5e-4), "250.00 µs");
+        assert_eq!(fmt_seconds(0.25), "250.00 ms");
+        assert_eq!(fmt_seconds(2.0), "2.000 s");
+        assert_eq!(fmt_bytes(512.0), "512 B");
+        assert_eq!(fmt_bytes(223.71 * 1024.0 * 1024.0), "223.71 MB");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_nlogn_is_just_above_one() {
+        let xs: Vec<f64> = (10..20).map(|i| (1u64 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x.ln()).collect();
+        let s = loglog_slope(&xs, &ys);
+        assert!(s > 1.0 && s < 1.2, "slope {s}");
+    }
+
+    #[test]
+    fn timers_run() {
+        let (v, t) = time_once(|| 42);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+        let best = time_best(3, 1.0, || 7);
+        assert!(best >= 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for fallible conversions and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a number from a string fails.
+///
+/// ```
+/// use apc_bignum::Nat;
+/// assert!(Nat::from_decimal_str("12a4").is_err());
+/// assert!(Nat::from_decimal_str("").is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNumberError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseErrorKind {
+    Empty,
+    InvalidDigit { position: usize, character: char },
+}
+
+impl ParseNumberError {
+    pub(crate) fn empty() -> Self {
+        ParseNumberError {
+            kind: ParseErrorKind::Empty,
+        }
+    }
+
+    pub(crate) fn invalid_digit(position: usize, character: char) -> Self {
+        ParseNumberError {
+            kind: ParseErrorKind::InvalidDigit {
+                position,
+                character,
+            },
+        }
+    }
+}
+
+impl fmt::Display for ParseNumberError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse number from empty string"),
+            ParseErrorKind::InvalidDigit {
+                position,
+                character,
+            } => write!(f, "invalid digit {character:?} at position {position}"),
+        }
+    }
+}
+
+impl Error for ParseNumberError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ParseNumberError::empty().to_string(),
+            "cannot parse number from empty string"
+        );
+        assert_eq!(
+            ParseNumberError::invalid_digit(3, 'x').to_string(),
+            "invalid digit 'x' at position 3"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseNumberError>();
+    }
+}

@@ -1,0 +1,447 @@
+//! Arbitrary-precision binary floating point (the GMP **MPF** layer
+//! equivalent).
+//!
+//! A [`Float`] is `±mantissa · 2^exponent` at a caller-chosen precision.
+//! Rounding is truncation toward zero; callers (the π and Mandelbrot
+//! applications) carry guard bits, which is also how MPF-based code is
+//! typically written. The paper's stack (Figure 1) places this layer
+//! directly above natural-number arithmetic — every operation here
+//! decomposes into `Nat` kernels.
+
+use crate::nat::Nat;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision binary floating-point number.
+///
+/// ```
+/// use apc_bignum::Float;
+///
+/// let prec = 128;
+/// let two = Float::from_u64(2, prec);
+/// let root = two.sqrt();
+/// let square = root.mul(&root);
+/// let err = square.sub(&two).abs();
+/// assert!(err < Float::with_parts(false, 1u64.into(), -120, prec));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Float {
+    negative: bool,
+    mantissa: Nat,
+    exponent: i64,
+    precision: u64,
+}
+
+impl Float {
+    /// Zero at the given precision (bits of mantissa).
+    pub fn zero(precision: u64) -> Float {
+        Float {
+            negative: false,
+            mantissa: Nat::zero(),
+            exponent: 0,
+            precision,
+        }
+    }
+
+    /// Builds `±mantissa · 2^exponent` and normalizes to `precision` bits.
+    pub fn with_parts(negative: bool, mantissa: Nat, exponent: i64, precision: u64) -> Float {
+        let mut f = Float {
+            negative: negative && !mantissa.is_zero(),
+            mantissa,
+            exponent,
+            precision,
+        };
+        f.normalize();
+        f
+    }
+
+    /// An integer value at the given precision.
+    pub fn from_u64(v: u64, precision: u64) -> Float {
+        Float::with_parts(false, Nat::from(v), 0, precision)
+    }
+
+    /// A natural number at the given precision.
+    pub fn from_nat(v: Nat, precision: u64) -> Float {
+        Float::with_parts(false, v, 0, precision)
+    }
+
+    /// The working precision in bits.
+    pub fn precision(&self) -> u64 {
+        self.precision
+    }
+
+    /// Whether this value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.mantissa.is_zero()
+    }
+
+    /// Whether this value is negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Float {
+        let mut f = self.clone();
+        f.negative = false;
+        f
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Float {
+        Float::with_parts(
+            !self.negative,
+            self.mantissa.clone(),
+            self.exponent,
+            self.precision,
+        )
+    }
+
+    /// Rounds the mantissa down to the working precision and strips
+    /// trailing zero bits.
+    fn normalize(&mut self) {
+        if self.mantissa.is_zero() {
+            self.negative = false;
+            self.exponent = 0;
+            return;
+        }
+        let len = self.mantissa.bit_len();
+        if len > self.precision {
+            let excess = len - self.precision;
+            self.mantissa = self.mantissa.shr_bits(excess);
+            self.exponent += excess as i64;
+        }
+        if let Some(tz) = self.mantissa.trailing_zeros() {
+            if tz > 0 {
+                self.mantissa = self.mantissa.shr_bits(tz);
+                self.exponent += tz as i64;
+            }
+        }
+        if self.mantissa.is_zero() {
+            self.negative = false;
+            self.exponent = 0;
+        }
+    }
+
+    /// Position of the most significant bit: value magnitude is in
+    /// `[2^(msb−1), 2^msb)`. Zero for zero.
+    fn msb_exponent(&self) -> i64 {
+        if self.is_zero() {
+            return i64::MIN / 2;
+        }
+        self.exponent + self.mantissa.bit_len() as i64
+    }
+
+    /// Addition.
+    pub fn add(&self, rhs: &Float) -> Float {
+        self.add_signed(rhs, false)
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, rhs: &Float) -> Float {
+        self.add_signed(rhs, true)
+    }
+
+    fn add_signed(&self, rhs: &Float, flip: bool) -> Float {
+        let prec = self.precision.max(rhs.precision);
+        if self.is_zero() {
+            let mut r = if flip { rhs.neg() } else { rhs.clone() };
+            r.precision = prec;
+            r.normalize();
+            return r;
+        }
+        if rhs.is_zero() {
+            let mut r = self.clone();
+            r.precision = prec;
+            r.normalize();
+            return r;
+        }
+        let rhs_negative = rhs.negative != flip;
+        // If magnitudes are too far apart to interact at this precision,
+        // return the larger.
+        let gap = self.msb_exponent() - rhs.msb_exponent();
+        if gap > prec as i64 + 2 {
+            let mut r = self.clone();
+            r.precision = prec;
+            r.normalize();
+            return r;
+        }
+        if gap < -(prec as i64 + 2) {
+            let mut r = rhs.clone();
+            r.negative = rhs_negative;
+            r.precision = prec;
+            r.normalize();
+            return r;
+        }
+        // Align to the smaller exponent.
+        let e = self.exponent.min(rhs.exponent);
+        let ma = self.mantissa.shl_bits((self.exponent - e) as u64);
+        let mb = rhs.mantissa.shl_bits((rhs.exponent - e) as u64);
+        let (mag, neg) = if self.negative == rhs_negative {
+            (&ma + &mb, self.negative)
+        } else {
+            let (diff, flipped) = ma.abs_diff(&mb);
+            (diff, self.negative != flipped)
+        };
+        Float::with_parts(neg, mag, e, prec)
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, rhs: &Float) -> Float {
+        let prec = self.precision.max(rhs.precision);
+        Float::with_parts(
+            self.negative != rhs.negative,
+            &self.mantissa * &rhs.mantissa,
+            self.exponent + rhs.exponent,
+            prec,
+        )
+    }
+
+    /// Division (truncated toward zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div(&self, rhs: &Float) -> Float {
+        assert!(!rhs.is_zero(), "float division by zero");
+        if self.is_zero() {
+            return Float::zero(self.precision.max(rhs.precision));
+        }
+        let prec = self.precision.max(rhs.precision);
+        // Scale the numerator so the integer quotient carries prec + guard
+        // significant bits.
+        let guard = 8;
+        let shift = (prec + guard) as i64 + rhs.mantissa.bit_len() as i64
+            - self.mantissa.bit_len() as i64;
+        let shift = shift.max(0) as u64;
+        let scaled = self.mantissa.shl_bits(shift);
+        let q = &scaled / &rhs.mantissa;
+        Float::with_parts(
+            self.negative != rhs.negative,
+            q,
+            self.exponent - rhs.exponent - shift as i64,
+            prec,
+        )
+    }
+
+    /// Square root (truncated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is negative.
+    pub fn sqrt(&self) -> Float {
+        assert!(!self.negative, "square root of negative float");
+        if self.is_zero() {
+            return self.clone();
+        }
+        let prec = self.precision;
+        let guard = 8;
+        // Shift the mantissa so the root carries prec + guard bits, keeping
+        // the exponent even.
+        let target = 2 * (prec + guard);
+        let mut shift = target.saturating_sub(self.mantissa.bit_len()) as i64;
+        if (self.exponent - shift) % 2 != 0 {
+            shift += 1;
+        }
+        let scaled = self.mantissa.shl_bits(shift as u64);
+        let root = scaled.isqrt();
+        Float::with_parts(false, root, (self.exponent - shift) / 2, prec)
+    }
+
+    /// Truncates to a natural number (absolute value, toward zero).
+    pub fn trunc_nat(&self) -> Nat {
+        if self.is_zero() || self.msb_exponent() <= 0 {
+            return Nat::zero();
+        }
+        if self.exponent >= 0 {
+            self.mantissa.shl_bits(self.exponent as u64)
+        } else {
+            self.mantissa.shr_bits((-self.exponent) as u64)
+        }
+    }
+
+    /// Converts to `f64` (approximate; saturates on overflow).
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let len = self.mantissa.bit_len();
+        let take = len.min(53);
+        let top = self.mantissa.shr_bits(len - take);
+        let mut v = top.to_u64().expect("53 bits fit") as f64;
+        let e = self.exponent + (len - take) as i64;
+        v *= 2f64.powi(e.clamp(-2000, 2000) as i32);
+        if self.negative {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Renders with `digits` decimal places (truncated).
+    ///
+    /// ```
+    /// use apc_bignum::Float;
+    /// let x = Float::from_u64(1, 128).div(&Float::from_u64(3, 128));
+    /// assert_eq!(x.to_decimal_string(10), "0.3333333333");
+    /// ```
+    pub fn to_decimal_string(&self, digits: u64) -> String {
+        let scale = crate::nat::radix::pow10_pub(digits);
+        let scaled = {
+            let m = &self.mantissa * &scale;
+            if self.exponent >= 0 {
+                m.shl_bits(self.exponent as u64)
+            } else {
+                m.shr_bits((-self.exponent) as u64)
+            }
+        };
+        let s = scaled.to_decimal_string();
+        let sign = if self.negative { "-" } else { "" };
+        if digits == 0 {
+            return format!("{sign}{s}");
+        }
+        let d = digits as usize;
+        if s.len() <= d {
+            format!("{sign}0.{s:0>d$}")
+        } else {
+            let (int_part, frac_part) = s.split_at(s.len() - d);
+            format!("{sign}{int_part}.{frac_part}")
+        }
+    }
+}
+
+impl PartialEq for Float {
+    fn eq(&self, other: &Self) -> bool {
+        self.partial_cmp(other) == Some(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for Float {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.negative != other.negative {
+            return Some(if self.negative {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            });
+        }
+        let mag = {
+            let ea = self.msb_exponent();
+            let eb = other.msb_exponent();
+            if self.is_zero() && other.is_zero() {
+                Ordering::Equal
+            } else if self.is_zero() {
+                Ordering::Less
+            } else if other.is_zero() {
+                Ordering::Greater
+            } else if ea != eb {
+                ea.cmp(&eb)
+            } else {
+                // Same magnitude class: compare aligned mantissas.
+                let e = self.exponent.min(other.exponent);
+                let ma = self.mantissa.shl_bits((self.exponent - e) as u64);
+                let mb = other.mantissa.shl_bits((other.exponent - e) as u64);
+                ma.cmp(&mb)
+            }
+        };
+        Some(if self.negative { mag.reverse() } else { mag })
+    }
+}
+
+impl fmt::Display for Float {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Default to enough decimal places for the precision.
+        let digits = (self.precision as f64 * 0.301) as u64 + 1;
+        f.pad(&self.to_decimal_string(digits.min(50)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: u64) -> Float {
+        Float::from_u64(v, 192)
+    }
+
+    #[test]
+    fn add_sub_integers() {
+        assert_eq!(f(2).add(&f(3)), f(5));
+        assert_eq!(f(5).sub(&f(3)), f(2));
+        assert_eq!(f(3).sub(&f(5)), f(2).neg());
+        assert!(f(3).sub(&f(3)).is_zero());
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let a = f(123456789);
+        let b = f(987654321);
+        let q = a.mul(&b).div(&b);
+        let err = q.sub(&a).abs();
+        assert!(err < Float::with_parts(false, Nat::one(), -150, 192));
+    }
+
+    #[test]
+    fn div_by_larger_gives_fraction() {
+        let third = f(1).div(&f(3));
+        assert!(third < f(1));
+        assert!(third > Float::zero(192));
+        assert_eq!(third.to_decimal_string(6), "0.333333");
+    }
+
+    #[test]
+    fn sqrt_of_two_squares_back() {
+        let two = f(2);
+        let r = two.sqrt();
+        let err = r.mul(&r).sub(&two).abs();
+        assert!(err < Float::with_parts(false, Nat::one(), -180, 192));
+    }
+
+    #[test]
+    fn sqrt_perfect_square_exact_enough() {
+        let n = f(144);
+        let r = n.sqrt();
+        let err = r.sub(&f(12)).abs();
+        assert!(err < Float::with_parts(false, Nat::one(), -150, 192));
+    }
+
+    #[test]
+    fn far_apart_addition_keeps_big_operand() {
+        let big = Float::with_parts(false, Nat::one(), 1000, 64);
+        let tiny = Float::with_parts(false, Nat::one(), -1000, 64);
+        assert_eq!(big.add(&tiny), big);
+        assert_eq!(tiny.add(&big), big);
+    }
+
+    #[test]
+    fn trunc_nat_values() {
+        assert_eq!(f(7).div(&f(2)).trunc_nat().to_u64(), Some(3));
+        assert_eq!(f(1).div(&f(3)).trunc_nat().to_u64(), Some(0));
+        assert_eq!(f(100).trunc_nat().to_u64(), Some(100));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(f(1).neg() < Float::zero(192));
+        assert!(Float::zero(192) < f(1));
+        assert!(f(2).neg() < f(1).neg());
+        assert!(f(1).div(&f(2)) < f(1));
+    }
+
+    #[test]
+    fn to_f64_approximation() {
+        let x = f(1).div(&f(8));
+        assert!((x.to_f64() - 0.125).abs() < 1e-12);
+        let y = f(3).neg();
+        assert!((y.to_f64() + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decimal_rendering_integer_and_fraction() {
+        assert_eq!(f(42).to_decimal_string(0), "42");
+        assert_eq!(f(42).to_decimal_string(2), "42.00");
+        let half = f(1).div(&f(2));
+        assert_eq!(half.to_decimal_string(3), "0.500");
+        assert_eq!(half.neg().to_decimal_string(1), "-0.5");
+    }
+}

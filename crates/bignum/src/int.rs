@@ -1,0 +1,442 @@
+//! Signed integers of arbitrary size (the GMP **MPZ** layer equivalent).
+//!
+//! [`Int`] is sign-magnitude, matching the representation the paper notes
+//! is used by hardware and common APC libraries ("negatives are supported
+//! via sign-magnitude instead of 2's complementary", §V-C). It is also the
+//! signed scratch arithmetic used internally by Toom-Cook interpolation and
+//! by the Schönhage–Strassen decode step.
+
+use crate::nat::Nat;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// The sign of an [`Int`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// An arbitrary-precision signed integer in sign-magnitude form.
+///
+/// ```
+/// use apc_bignum::{Int, Nat};
+///
+/// let a = Int::from(-5i64);
+/// let b = Int::from(12i64);
+/// assert_eq!((&a + &b), Int::from(7i64));
+/// assert_eq!((&a * &b), Int::from(-60i64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Int {
+    negative: bool,
+    magnitude: Nat,
+}
+
+impl Int {
+    /// Zero.
+    #[inline]
+    pub fn zero() -> Self {
+        Int {
+            negative: false,
+            magnitude: Nat::zero(),
+        }
+    }
+
+    /// One.
+    #[inline]
+    pub fn one() -> Self {
+        Int::from_nat(Nat::one())
+    }
+
+    /// A non-negative integer from a natural number.
+    #[inline]
+    pub fn from_nat(magnitude: Nat) -> Self {
+        Int {
+            negative: false,
+            magnitude,
+        }
+    }
+
+    /// Builds an integer from a sign flag and magnitude (sign is ignored
+    /// for zero magnitude).
+    pub fn from_sign_magnitude(negative: bool, magnitude: Nat) -> Self {
+        Int {
+            negative: negative && !magnitude.is_zero(),
+            magnitude,
+        }
+    }
+
+    /// The sign of this integer.
+    pub fn sign(&self) -> Sign {
+        if self.magnitude.is_zero() {
+            Sign::Zero
+        } else if self.negative {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        }
+    }
+
+    /// Whether this integer is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// Whether this integer is strictly negative.
+    #[inline]
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// The absolute value as a natural number (borrowed).
+    #[inline]
+    pub fn magnitude(&self) -> &Nat {
+        &self.magnitude
+    }
+
+    /// Consumes `self`, returning the magnitude.
+    #[inline]
+    pub fn into_magnitude(self) -> Nat {
+        self.magnitude
+    }
+
+    /// Converts to a [`Nat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative.
+    pub fn into_nat(self) -> Nat {
+        assert!(!self.negative, "cannot convert negative Int to Nat");
+        self.magnitude
+    }
+
+    /// Multiplies by a signed 128-bit scalar (used by Toom interpolation).
+    pub fn mul_i128(&self, scalar: i128) -> Int {
+        let mag = self.magnitude.mul_u128(scalar.unsigned_abs());
+        Int::from_sign_magnitude(self.negative != (scalar < 0), mag)
+    }
+
+    /// Divides exactly by a small positive divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0` or the division is not exact (Toom
+    /// interpolation guarantees exactness by construction).
+    pub fn div_exact_u64(&self, divisor: u64) -> Int {
+        let (q, r) = self.magnitude.divrem_limb(divisor);
+        assert_eq!(r, 0, "inexact division in div_exact_u64");
+        Int::from_sign_magnitude(self.negative, q)
+    }
+
+    /// Shifts left by `bits`.
+    pub fn shl_bits(&self, bits: u64) -> Int {
+        Int::from_sign_magnitude(self.negative, self.magnitude.shl_bits(bits))
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        Int::from_nat(self.magnitude.clone())
+    }
+
+    /// Truncated division by another integer: `(quotient, remainder)` with
+    /// `self = q * rhs + r`, `|r| < |rhs|`, and `r` taking `self`'s sign
+    /// (C-style truncation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn divrem(&self, rhs: &Int) -> (Int, Int) {
+        let (q, r) = self.magnitude.divrem(&rhs.magnitude);
+        (
+            Int::from_sign_magnitude(self.negative != rhs.negative, q),
+            Int::from_sign_magnitude(self.negative, r),
+        )
+    }
+}
+
+impl Int {
+    /// Parses a signed decimal string ("-123", "42").
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for empty or malformed input.
+    ///
+    /// ```
+    /// use apc_bignum::Int;
+    /// assert_eq!(Int::from_decimal_str("-42").unwrap(), Int::from(-42i64));
+    /// assert_eq!(Int::from_decimal_str("0").unwrap(), Int::zero());
+    /// assert!(Int::from_decimal_str("-").is_err());
+    /// ```
+    pub fn from_decimal_str(s: &str) -> Result<Int, crate::ParseNumberError> {
+        let (negative, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let magnitude = Nat::from_decimal_str(digits)?;
+        Ok(Int::from_sign_magnitude(negative, magnitude))
+    }
+
+    /// Renders as a signed decimal string (the `Display` impl uses this).
+    pub fn to_decimal_string(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::str::FromStr for Int {
+    type Err = crate::ParseNumberError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Int::from_decimal_str(s)
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Self {
+        Int::from_sign_magnitude(v < 0, Nat::from(v.unsigned_abs()))
+    }
+}
+
+impl From<u64> for Int {
+    fn from(v: u64) -> Self {
+        Int::from_nat(Nat::from(v))
+    }
+}
+
+impl From<Nat> for Int {
+    fn from(v: Nat) -> Self {
+        Int::from_nat(v)
+    }
+}
+
+impl Default for Int {
+    fn default() -> Self {
+        Int::zero()
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign(), other.sign()) {
+            (Sign::Negative, Sign::Negative) => other.magnitude.cmp(&self.magnitude),
+            (Sign::Negative, _) => Ordering::Less,
+            (_, Sign::Negative) => Ordering::Greater,
+            _ => self.magnitude.cmp(&other.magnitude),
+        }
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+
+    fn neg(self) -> Int {
+        Int::from_sign_magnitude(!self.negative, self.magnitude.clone())
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+
+    fn neg(self) -> Int {
+        Int::from_sign_magnitude(!self.negative, self.magnitude)
+    }
+}
+
+impl Add<&Int> for &Int {
+    type Output = Int;
+
+    fn add(self, rhs: &Int) -> Int {
+        if self.negative == rhs.negative {
+            Int::from_sign_magnitude(self.negative, &self.magnitude + &rhs.magnitude)
+        } else {
+            let (diff, flipped) = self.magnitude.abs_diff(&rhs.magnitude);
+            Int::from_sign_magnitude(self.negative != flipped, diff)
+        }
+    }
+}
+
+impl Sub<&Int> for &Int {
+    type Output = Int;
+
+    fn sub(self, rhs: &Int) -> Int {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&Int> for &Int {
+    type Output = Int;
+
+    fn mul(self, rhs: &Int) -> Int {
+        Int::from_sign_magnitude(
+            self.negative != rhs.negative,
+            &self.magnitude * &rhs.magnitude,
+        )
+    }
+}
+
+impl Add for Int {
+    type Output = Int;
+
+    fn add(self, rhs: Int) -> Int {
+        &self + &rhs
+    }
+}
+
+impl Sub for Int {
+    type Output = Int;
+
+    fn sub(self, rhs: Int) -> Int {
+        &self - &rhs
+    }
+}
+
+impl Mul for Int {
+    type Output = Int;
+
+    fn mul(self, rhs: Int) -> Int {
+        &self * &rhs
+    }
+}
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, rhs: &Int) {
+        *self = &*self - rhs;
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Int({}{:?})",
+            if self.negative { "-" } else { "" },
+            self.magnitude
+        )
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.magnitude.to_decimal_string();
+        f.pad_integral(!self.negative, "", &s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_zero_does_not_exist() {
+        let z = Int::from_sign_magnitude(true, Nat::zero());
+        assert_eq!(z.sign(), Sign::Zero);
+        assert_eq!(z, Int::zero());
+        assert_eq!(-Int::zero(), Int::zero());
+    }
+
+    #[test]
+    fn signed_addition_cases() {
+        let five = Int::from(5i64);
+        let neg3 = Int::from(-3i64);
+        assert_eq!(&five + &neg3, Int::from(2i64));
+        assert_eq!(&neg3 + &five, Int::from(2i64));
+        assert_eq!(&neg3 + &neg3, Int::from(-6i64));
+        assert_eq!(&five + &Int::from(-8i64), Int::from(-3i64));
+    }
+
+    #[test]
+    fn subtraction_through_zero() {
+        let a = Int::from(3i64);
+        assert_eq!(&a - &a, Int::zero());
+        assert_eq!(&Int::zero() - &a, Int::from(-3i64));
+    }
+
+    #[test]
+    fn multiplication_signs() {
+        assert_eq!(&Int::from(-4i64) * &Int::from(-5i64), Int::from(20i64));
+        assert_eq!(&Int::from(-4i64) * &Int::from(5i64), Int::from(-20i64));
+        assert_eq!(&Int::from(4i64) * &Int::zero(), Int::zero());
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        let vals = [-100i64, -1, 0, 1, 100];
+        for &x in &vals {
+            for &y in &vals {
+                assert_eq!(Int::from(x).cmp(&Int::from(y)), x.cmp(&y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_i128_signs() {
+        let a = Int::from(7i64);
+        assert_eq!(a.mul_i128(-3), Int::from(-21i64));
+        assert_eq!(Int::from(-7i64).mul_i128(-3), Int::from(21i64));
+        assert_eq!(a.mul_i128(0), Int::zero());
+    }
+
+    #[test]
+    fn div_exact_small() {
+        let a = Int::from(-21i64);
+        assert_eq!(a.div_exact_u64(7), Int::from(-3i64));
+    }
+
+    #[test]
+    #[should_panic(expected = "inexact")]
+    fn div_exact_rejects_inexact() {
+        let _ = Int::from(10i64).div_exact_u64(3);
+    }
+
+    #[test]
+    fn divrem_truncates_toward_zero() {
+        let (q, r) = Int::from(-7i64).divrem(&Int::from(2i64));
+        assert_eq!(q, Int::from(-3i64));
+        assert_eq!(r, Int::from(-1i64));
+        let (q, r) = Int::from(7i64).divrem(&Int::from(-2i64));
+        assert_eq!(q, Int::from(-3i64));
+        assert_eq!(r, Int::from(1i64));
+    }
+
+    #[test]
+    fn display_negative() {
+        assert_eq!(Int::from(-42i64).to_string(), "-42");
+        assert_eq!(Int::zero().to_string(), "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn into_nat_rejects_negative() {
+        let _ = Int::from(-1i64).into_nat();
+    }
+
+    #[test]
+    fn decimal_parse_roundtrip() {
+        for v in [-1_000_000i64, -1, 0, 7, 987_654_321] {
+            let i = Int::from(v);
+            assert_eq!(Int::from_decimal_str(&i.to_string()).unwrap(), i, "v={v}");
+        }
+        let big = Int::from_decimal_str("-340282366920938463463374607431768211456").unwrap();
+        assert_eq!(big.magnitude(), &Nat::power_of_two(128));
+        assert!(big.is_negative());
+        assert_eq!("  -12".trim().parse::<Int>().unwrap(), Int::from(-12i64));
+    }
+}

@@ -1,0 +1,138 @@
+//! Single-limb (64-bit word) arithmetic primitives.
+//!
+//! These are the equivalents of GMP's lowest-level `mpn` building blocks:
+//! add-with-carry, subtract-with-borrow, widening multiplication and 2-by-1
+//! division. Everything above them (the `nat` module) is expressed in terms
+//! of these primitives, mirroring how the paper's software stack (Figure 1)
+//! is built hierarchically from limb arithmetic.
+
+/// The machine word used for number storage (a *limb* in GMP terminology).
+pub type Limb = u64;
+
+/// Number of bits in a [`Limb`].
+pub const LIMB_BITS: u32 = 64;
+
+/// Adds `a + b + carry_in`, returning the low limb and the carry-out (0 or 1).
+///
+/// ```
+/// use apc_bignum::limb::adc;
+/// assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+/// assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+/// ```
+#[inline]
+pub fn adc(a: Limb, b: Limb, carry_in: Limb) -> (Limb, Limb) {
+    let (s1, c1) = a.overflowing_add(b);
+    let (s2, c2) = s1.overflowing_add(carry_in);
+    (s2, Limb::from(c1) + Limb::from(c2))
+}
+
+/// Computes `a - b - borrow_in`, returning the low limb and the borrow-out
+/// (0 or 1).
+///
+/// ```
+/// use apc_bignum::limb::sbb;
+/// assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+/// assert_eq!(sbb(5, 3, 1), (1, 0));
+/// ```
+#[inline]
+pub fn sbb(a: Limb, b: Limb, borrow_in: Limb) -> (Limb, Limb) {
+    let (d1, b1) = a.overflowing_sub(b);
+    let (d2, b2) = d1.overflowing_sub(borrow_in);
+    (d2, Limb::from(b1) + Limb::from(b2))
+}
+
+/// Widening multiplication: `a * b` as `(low, high)` limbs.
+///
+/// ```
+/// use apc_bignum::limb::mul_wide;
+/// assert_eq!(mul_wide(u64::MAX, u64::MAX), (1, u64::MAX - 1));
+/// ```
+#[inline]
+pub fn mul_wide(a: Limb, b: Limb) -> (Limb, Limb) {
+    let p = u128::from(a) * u128::from(b);
+    (p as Limb, (p >> 64) as Limb)
+}
+
+/// Fused multiply-add over limbs: `a * b + add + carry`, returned as
+/// `(low, high)`. The result always fits in two limbs.
+#[inline]
+pub fn mul_add_carry(a: Limb, b: Limb, add: Limb, carry: Limb) -> (Limb, Limb) {
+    let p = u128::from(a) * u128::from(b) + u128::from(add) + u128::from(carry);
+    (p as Limb, (p >> 64) as Limb)
+}
+
+/// Divides the two-limb value `(hi, lo)` by `d`, returning `(quotient,
+/// remainder)`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or if the quotient would not fit in one limb
+/// (i.e. `hi >= d`).
+#[inline]
+pub fn div2by1(hi: Limb, lo: Limb, d: Limb) -> (Limb, Limb) {
+    assert!(d != 0, "division by zero");
+    assert!(hi < d, "2-by-1 division overflow");
+    let n = (u128::from(hi) << 64) | u128::from(lo);
+    let d128 = u128::from(d);
+    ((n / d128) as Limb, (n % d128) as Limb)
+}
+
+/// Number of significant bits of `x` (0 for `x == 0`).
+#[inline]
+pub fn bit_len(x: Limb) -> u32 {
+    LIMB_BITS - x.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_no_carry() {
+        assert_eq!(adc(2, 3, 0), (5, 0));
+    }
+
+    #[test]
+    fn adc_carry_chain() {
+        // max + max + 1 = 2^65 - 1 => low = max, carry = 1
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn sbb_borrow() {
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn mul_wide_basic() {
+        assert_eq!(mul_wide(1 << 32, 1 << 32), (0, 1));
+        assert_eq!(mul_wide(0, u64::MAX), (0, 0));
+    }
+
+    #[test]
+    fn mul_add_carry_saturating_inputs() {
+        // (2^64-1)^2 + (2^64-1) + (2^64-1) = 2^128 - 1: still fits.
+        let (lo, hi) = mul_add_carry(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        assert_eq!((lo, hi), (u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn div2by1_roundtrip() {
+        let (q, r) = div2by1(3, u64::MAX, 17);
+        let n = (u128::from(3u64) << 64) | u128::from(u64::MAX);
+        assert_eq!(u128::from(q) * 17 + u128::from(r), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "2-by-1 division overflow")]
+    fn div2by1_overflow_panics() {
+        let _ = div2by1(17, 0, 17);
+    }
+
+    #[test]
+    fn bit_len_values() {
+        assert_eq!(bit_len(0), 0);
+        assert_eq!(bit_len(1), 1);
+        assert_eq!(bit_len(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,178 @@
+//! Barrett reduction — the classic fixed-modulus reduction alternative to
+//! Montgomery (useful when operands arrive in plain representation, e.g.
+//! one-shot modular reductions inside MPApca's high-level operators).
+
+use super::Nat;
+
+/// Precomputed context for Barrett reduction modulo a fixed `m`.
+///
+/// ```
+/// use apc_bignum::nat::barrett::BarrettCtx;
+/// use apc_bignum::Nat;
+///
+/// let m = Nat::from(1_000_003u64);
+/// let ctx = BarrettCtx::new(m.clone());
+/// let x = Nat::from(10u64).pow(12);
+/// assert_eq!(ctx.reduce(&x), x % m);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarrettCtx {
+    modulus: Nat,
+    /// μ = ⌊2^(2k) / m⌋ with k = bit length of m.
+    mu: Nat,
+    k: u64,
+}
+
+impl BarrettCtx {
+    /// Builds a context for modulus `m >= 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2`.
+    pub fn new(modulus: Nat) -> BarrettCtx {
+        assert!(modulus > Nat::one(), "Barrett modulus must be at least 2");
+        let k = modulus.bit_len();
+        let mu = modulus.reciprocal(2 * k);
+        BarrettCtx { modulus, mu, k }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Nat {
+        &self.modulus
+    }
+
+    /// Reduces `x < m²·4` to `x mod m` with two multiplications and at
+    /// most a few subtractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `x` is far outside the supported range — use
+    /// plain division for arbitrary inputs.
+    pub fn reduce(&self, x: &Nat) -> Nat {
+        debug_assert!(
+            x.bit_len() <= 2 * self.k + 2,
+            "Barrett input must be below ~m² (got {} bits for k = {})",
+            x.bit_len(),
+            self.k
+        );
+        // q = ⌊(x >> (k−1)) · μ / 2^(k+1)⌋ ≤ true quotient, short by ≤ 2.
+        let q = (&x.shr_bits(self.k - 1) * &self.mu).shr_bits(self.k + 1);
+        let mut r = x - &(&q * &self.modulus);
+        while r >= self.modulus {
+            r = &r - &self.modulus;
+        }
+        r
+    }
+
+    /// Modular multiplication `a·b mod m` (both inputs already reduced).
+    pub fn mul_mod(&self, a: &Nat, b: &Nat) -> Nat {
+        debug_assert!(a < &self.modulus && b < &self.modulus);
+        self.reduce(&(a * b))
+    }
+
+    /// Modular exponentiation by square-and-multiply over Barrett
+    /// reductions. (Montgomery is faster for long exponent chains; this
+    /// exists for even moduli and as a cross-check.)
+    pub fn pow_mod(&self, base: &Nat, exp: &Nat) -> Nat {
+        let mut acc = Nat::one() % &self.modulus;
+        let b = base % &self.modulus;
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mul_mod(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mul_mod(&acc, &b);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(limbs: usize, seed: u64) -> Nat {
+        let mut x = seed | 1;
+        let v: Vec<u64> = (0..limbs)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            })
+            .collect();
+        Nat::from_limbs(v)
+    }
+
+    #[test]
+    fn reduce_matches_rem_small() {
+        let m = Nat::from(97u64);
+        let ctx = BarrettCtx::new(m.clone());
+        for v in 0u64..9409 {
+            assert_eq!(ctx.reduce(&Nat::from(v)), Nat::from(v % 97), "v={v}");
+        }
+    }
+
+    #[test]
+    fn reduce_matches_rem_multi_limb() {
+        let m = pattern(8, 5);
+        let ctx = BarrettCtx::new(m.clone());
+        for seed in 1..20u64 {
+            let a = &pattern(8, seed * 3) % &m;
+            let b = &pattern(8, seed * 7) % &m;
+            let x = &a * &b;
+            assert_eq!(ctx.reduce(&x), &x % &m, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_and_pow_mod() {
+        let m = pattern(4, 9);
+        let ctx = BarrettCtx::new(m.clone());
+        let a = &pattern(4, 2) % &m;
+        let b = &pattern(4, 3) % &m;
+        assert_eq!(ctx.mul_mod(&a, &b), &(&a * &b) % &m);
+        let e = Nat::from(65_537u64);
+        assert_eq!(
+            ctx.pow_mod(&a, &e),
+            apc_pow_oracle(&a, &e, &m)
+        );
+    }
+
+    #[test]
+    fn works_for_even_modulus() {
+        // Montgomery cannot do this; Barrett can.
+        let m = Nat::from(1_000_000u64);
+        let ctx = BarrettCtx::new(m.clone());
+        let a = Nat::from(999_999u64);
+        assert_eq!(ctx.mul_mod(&a, &a), &(&a * &a) % &m);
+        assert_eq!(
+            ctx.pow_mod(&Nat::from(3u64), &Nat::from(10u64)).to_u64(),
+            Some(59049)
+        );
+    }
+
+    #[test]
+    fn agrees_with_montgomery_for_odd_modulus() {
+        let m = pattern(4, 11).with_bit(0, true);
+        let barrett = BarrettCtx::new(m.clone());
+        let mont = crate::nat::mont::MontgomeryCtx::new(m.clone());
+        let base = &pattern(4, 13) % &m;
+        let exp = Nat::from(0xABCDEFu64);
+        assert_eq!(barrett.pow_mod(&base, &exp), mont.pow_mod(&base, &exp));
+    }
+
+    fn apc_pow_oracle(base: &Nat, exp: &Nat, m: &Nat) -> Nat {
+        let mut acc = Nat::one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = &(&acc * &acc) % m;
+            if exp.bit(i) {
+                acc = &(&acc * base) % m;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_modulus_rejected() {
+        let _ = BarrettCtx::new(Nat::one());
+    }
+}

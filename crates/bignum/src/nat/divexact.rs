@@ -1,0 +1,159 @@
+//! Exact division by Hensel lifting (GMP's `mpn_divexact` family): when
+//! the quotient is known to be exact, division by an odd divisor needs no
+//! quotient estimation at all — multiply limb-by-limb with the divisor's
+//! inverse modulo 2^64 and propagate. This is the routine behind the
+//! small exact divisions of Toom interpolation and binary splitting.
+
+use super::Nat;
+use crate::limb::{mul_add_carry, sbb, Limb};
+
+impl Nat {
+    /// Divides exactly by an odd divisor using Hensel (2-adic) lifting —
+    /// no trial subtraction, one multiply per limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is even or zero. Debug builds additionally
+    /// verify exactness; release builds return garbage on inexact input
+    /// (matching GMP's contract).
+    ///
+    /// ```
+    /// use apc_bignum::Nat;
+    /// let d = Nat::from(3u64);
+    /// let q = Nat::from(10u64).pow(30);
+    /// let n = &q * &d;
+    /// assert_eq!(n.div_exact_odd(&d), q);
+    /// ```
+    pub fn div_exact_odd(&self, divisor: &Nat) -> Nat {
+        assert!(!divisor.is_zero(), "division by zero");
+        assert!(!divisor.is_even(), "Hensel division needs an odd divisor");
+        if self.is_zero() {
+            return Nat::zero();
+        }
+        debug_assert!(
+            (self % divisor).is_zero(),
+            "div_exact_odd requires an exact quotient"
+        );
+        let n = self.limbs();
+        let d = divisor.limbs();
+        // Inverse of d mod 2^64 (Newton on the low limb).
+        let dinv = inv_mod_b(d[0]);
+        let qlen = n.len() - d.len() + 1;
+        let mut rem: Vec<Limb> = n.to_vec();
+        let mut q = vec![0 as Limb; qlen];
+        for i in 0..qlen {
+            // Quotient limb determined entirely by the 2-adic residue.
+            let qi = rem[i].wrapping_mul(dinv);
+            q[i] = qi;
+            if qi == 0 {
+                continue;
+            }
+            // rem -= qi · d · B^i (only the window that still matters).
+            let mut borrow: Limb = 0;
+            let mut carry: Limb = 0;
+            for (j, &dj) in d.iter().enumerate() {
+                if i + j >= rem.len() {
+                    break;
+                }
+                let (plo, phi) = mul_add_carry(dj, qi, carry, 0);
+                carry = phi;
+                let (diff, b) = sbb(rem[i + j], plo, borrow);
+                rem[i + j] = diff;
+                borrow = b;
+            }
+            let mut k = i + d.len();
+            while (carry != 0 || borrow != 0) && k < rem.len() {
+                let (diff, b) = sbb(rem[k], carry, borrow);
+                rem[k] = diff;
+                carry = 0;
+                borrow = b;
+                k += 1;
+            }
+        }
+        Nat::from_limbs(q)
+    }
+
+    /// Divides exactly by 3 — the Toom-3 interpolation constant, done at
+    /// one multiply per limb.
+    ///
+    /// ```
+    /// use apc_bignum::Nat;
+    /// let q = Nat::power_of_two(1000) + Nat::from(7u64);
+    /// assert_eq!(q.mul_limb(3).div_exact_by3(), q);
+    /// ```
+    pub fn div_exact_by3(&self) -> Nat {
+        self.div_exact_odd(&Nat::from(3u64))
+    }
+}
+
+/// Inverse of an odd limb mod 2^64 by Newton iteration.
+fn inv_mod_b(d: Limb) -> Limb {
+    debug_assert!(d & 1 == 1);
+    let mut x = d;
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(d.wrapping_mul(x)));
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(limbs: usize, seed: u64) -> Nat {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let v: Vec<u64> = (0..limbs)
+            .map(|_| {
+                x ^= x << 11;
+                x ^= x >> 29;
+                x
+            })
+            .collect();
+        Nat::from_limbs(v)
+    }
+
+    #[test]
+    fn exact_division_by_small_odds() {
+        let q = pattern(20, 1);
+        for d in [3u64, 5, 7, 11, 0xFFFF_FFFF] {
+            let dn = Nat::from(d);
+            assert_eq!((&q * &dn).div_exact_odd(&dn), q, "d={d}");
+        }
+    }
+
+    #[test]
+    fn exact_division_multi_limb_divisor() {
+        let q = pattern(30, 2);
+        let d = pattern(12, 3).with_bit(0, true); // ensure odd
+        assert_eq!((&q * &d).div_exact_odd(&d), q);
+    }
+
+    #[test]
+    fn agrees_with_general_division() {
+        let q = pattern(50, 5);
+        let d = pattern(17, 7).with_bit(0, true);
+        let n = &q * &d;
+        assert_eq!(n.div_exact_odd(&d), n.divrem(&d).0);
+    }
+
+    #[test]
+    fn by3_helper() {
+        for limbs in [1usize, 5, 40] {
+            let q = pattern(limbs, limbs as u64);
+            assert_eq!(q.mul_limb(3).div_exact_by3(), q);
+        }
+        assert!(Nat::zero().div_exact_by3().is_zero());
+    }
+
+    #[test]
+    fn quotient_of_one() {
+        let d = pattern(9, 11).with_bit(0, true);
+        assert_eq!(d.div_exact_odd(&d), Nat::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_divisor_rejected() {
+        let _ = Nat::from(12u64).div_exact_odd(&Nat::from(4u64));
+    }
+}

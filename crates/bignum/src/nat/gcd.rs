@@ -1,0 +1,172 @@
+//! GCD and modular inverse (binary GCD + extended Euclid).
+//!
+//! Used by the applications: the Pi benchmark optionally factorizes
+//! binary-splitting fractions, and RSA needs modular inverses for key
+//! generation and Montgomery setup.
+
+use super::Nat;
+use crate::int::Int;
+
+impl Nat {
+    /// Greatest common divisor by the binary (Stein) algorithm.
+    ///
+    /// ```
+    /// use apc_bignum::Nat;
+    /// let a = Nat::from(48u64);
+    /// let b = Nat::from(36u64);
+    /// assert_eq!(a.gcd(&b).to_u64(), Some(12));
+    /// assert_eq!(Nat::zero().gcd(&a), a);
+    /// ```
+    pub fn gcd(&self, other: &Nat) -> Nat {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let za = a.trailing_zeros().expect("a nonzero");
+        let zb = b.trailing_zeros().expect("b nonzero");
+        let common = za.min(zb);
+        a = a.shr_bits(za);
+        b = b.shr_bits(zb);
+        loop {
+            // Both odd here.
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = &b - &a;
+            if b.is_zero() {
+                return a.shl_bits(common);
+            }
+            b = b.shr_bits(b.trailing_zeros().expect("b nonzero"));
+        }
+    }
+
+    /// Least common multiple.
+    pub fn lcm(&self, other: &Nat) -> Nat {
+        if self.is_zero() || other.is_zero() {
+            return Nat::zero();
+        }
+        (self / &self.gcd(other)) * other.clone()
+    }
+
+    /// Modular inverse: returns `x` with `self·x ≡ 1 (mod modulus)`, or
+    /// `None` if `gcd(self, modulus) != 1`.
+    ///
+    /// ```
+    /// use apc_bignum::Nat;
+    /// let a = Nat::from(3u64);
+    /// let m = Nat::from(40u64);
+    /// let inv = a.mod_inverse(&m).unwrap();
+    /// assert_eq!((&a * &inv) % m, Nat::one());
+    /// assert!(Nat::from(4u64).mod_inverse(&Nat::from(40u64)).is_none());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero or one.
+    pub fn mod_inverse(&self, modulus: &Nat) -> Option<Nat> {
+        assert!(
+            !modulus.is_zero() && !modulus.is_one(),
+            "modulus must be at least 2"
+        );
+        // Extended Euclid on (self mod m, m).
+        let mut r0 = Int::from_nat(self % modulus);
+        let mut r1 = Int::from_nat(modulus.clone());
+        let mut s0 = Int::one();
+        let mut s1 = Int::zero();
+        while !r1.is_zero() {
+            let (q, r) = r0.divrem(&r1);
+            let next_s = &s0 - &(&q * &s1);
+            r0 = r1;
+            r1 = r;
+            s0 = s1;
+            s1 = next_s;
+        }
+        if !r0.magnitude().is_one() {
+            return None;
+        }
+        // r0 is +1 here (inputs non-negative), s0 may be negative.
+        let m = Int::from_nat(modulus.clone());
+        let mut inv = s0;
+        while inv.is_negative() {
+            inv += &m;
+        }
+        let inv = inv.into_nat();
+        Some(if &inv >= modulus { inv % modulus.clone() } else { inv })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(
+            Nat::from(270u64).gcd(&Nat::from(192u64)).to_u64(),
+            Some(6)
+        );
+        assert_eq!(Nat::from(17u64).gcd(&Nat::from(13u64)).to_u64(), Some(1));
+        let a = Nat::from(1000u64);
+        assert_eq!(a.gcd(&a), a);
+        assert_eq!(a.gcd(&Nat::zero()), a);
+    }
+
+    #[test]
+    fn gcd_powers_of_two() {
+        let a = Nat::power_of_two(100);
+        let b = Nat::power_of_two(70).mul_limb(3);
+        assert_eq!(a.gcd(&b), Nat::power_of_two(70));
+    }
+
+    #[test]
+    fn gcd_divides_both_large() {
+        let g = Nat::from(104729u64); // prime
+        let a = &g * &Nat::from(10u64).pow(30);
+        let b = &g * &(Nat::from(10u64).pow(20) + Nat::one());
+        let got = a.gcd(&b);
+        assert!((&a % &got).is_zero());
+        assert!((&b % &got).is_zero());
+        assert!((&got % &g).is_zero());
+    }
+
+    #[test]
+    fn lcm_times_gcd_is_product() {
+        let a = Nat::from(48u64);
+        let b = Nat::from(180u64);
+        assert_eq!(&a.lcm(&b) * &a.gcd(&b), &a * &b);
+        assert!(a.lcm(&Nat::zero()).is_zero());
+    }
+
+    #[test]
+    fn mod_inverse_roundtrip() {
+        let m = Nat::from(1_000_000_007u64); // prime
+        for v in [2u64, 3, 999_999_999, 123_456_789] {
+            let a = Nat::from(v);
+            let inv = a.mod_inverse(&m).expect("prime modulus");
+            assert_eq!((&a * &inv) % m.clone(), Nat::one(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn mod_inverse_of_large_odd_modulus() {
+        let m = Nat::power_of_two(512) + Nat::one();
+        let a = Nat::from(10u64).pow(40) + Nat::from(7u64);
+        let inv = a.mod_inverse(&m).expect("coprime");
+        assert_eq!((&a * &inv) % m, Nat::one());
+    }
+
+    #[test]
+    fn mod_inverse_none_when_not_coprime() {
+        assert!(Nat::from(6u64).mod_inverse(&Nat::from(9u64)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn mod_inverse_rejects_trivial_modulus() {
+        let _ = Nat::from(3u64).mod_inverse(&Nat::one());
+    }
+}

@@ -1,0 +1,89 @@
+//! Karatsuba (Toom-2) multiplication: three half-size products,
+//! O(n^1.585). This is the decomposition whose intermediate volume the
+//! paper measures in §II-C (see
+//! [`karatsuba_intermediate_bytes`](super::karatsuba_intermediate_bytes)).
+
+use super::{mul_recursive, MulAlgorithm, Thresholds};
+use crate::nat::Nat;
+
+/// Karatsuba multiplication. Splits both operands at half of the longer
+/// operand's limb count:
+///
+/// ```text
+/// x·y = z2·B² + z1·B + z0
+///   z2 = x1·y1
+///   z0 = x0·y0
+///   z1 = (x0+x1)(y0+y1) − z2 − z0
+/// ```
+pub fn mul(a: &Nat, b: &Nat, algorithm: MulAlgorithm, th: &Thresholds) -> Nat {
+    let n = a.limb_len().max(b.limb_len());
+    debug_assert!(n >= 2);
+    let split_bits = (n as u64 / 2) * 64;
+
+    let (x0, x1) = a.split_at_bit(split_bits);
+    let (y0, y1) = b.split_at_bit(split_bits);
+
+    let z0 = mul_recursive(&x0, &y0, algorithm, th);
+    let z2 = mul_recursive(&x1, &y1, algorithm, th);
+    let sx = &x0 + &x1;
+    let sy = &y0 + &y1;
+    let mid = mul_recursive(&sx, &sy, algorithm, th);
+    // mid = z0 + z1 + z2, and z1 >= 0, so the subtraction cannot underflow.
+    let z1 = &(&mid - &z0) - &z2;
+
+    let mut acc = z2.shl_bits(2 * split_bits);
+    acc = &acc + &z1.shl_bits(split_bits);
+    &acc + &z0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::mul::schoolbook;
+
+    fn pattern(limbs: usize, seed: u64) -> Nat {
+        let mut x = seed;
+        let v: Vec<u64> = (0..limbs)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x
+            })
+            .collect();
+        Nat::from_limbs(v)
+    }
+
+    fn kara(a: &Nat, b: &Nat) -> Nat {
+        mul(a, b, MulAlgorithm::Karatsuba, &Thresholds::default())
+    }
+
+    #[test]
+    fn matches_schoolbook_various_sizes() {
+        for n in [2usize, 3, 10, 33, 64, 100] {
+            let a = pattern(n, 1);
+            let b = pattern(n, 2);
+            assert_eq!(kara(&a, &b), schoolbook::mul(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn handles_zero_halves() {
+        // x0 == 0: low half entirely zero.
+        let a = Nat::power_of_two(64 * 8);
+        let b = pattern(8, 3);
+        assert_eq!(kara(&a, &b), schoolbook::mul(&a, &b));
+        // x1 small relative to split.
+        let c = pattern(2, 4);
+        let d = pattern(16, 5);
+        assert_eq!(kara(&c, &d), schoolbook::mul(&c, &d));
+    }
+
+    #[test]
+    fn near_power_of_two_operands() {
+        let a = Nat::power_of_two(64 * 20) - Nat::one();
+        let b = Nat::power_of_two(64 * 20) - Nat::one();
+        // (2^k - 1)^2 = 2^2k - 2^(k+1) + 1
+        let k = 64 * 20;
+        let expect = Nat::power_of_two(2 * k) - Nat::power_of_two(k + 1) + Nat::one();
+        assert_eq!(kara(&a, &b), expect);
+    }
+}

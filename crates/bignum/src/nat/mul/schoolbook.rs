@@ -1,0 +1,94 @@
+//! Schoolbook O(n²) multiplication — the basecase of the ladder, and the
+//! granularity (Figure 4) whose intermediate explosion motivates the whole
+//! paper.
+
+use crate::limb::{mul_add_carry, Limb};
+use crate::nat::Nat;
+
+/// Multiplies `a * b` by the schoolbook method (row-by-row `addmul_1`).
+pub fn mul(a: &Nat, b: &Nat) -> Nat {
+    if a.is_zero() || b.is_zero() {
+        return Nat::zero();
+    }
+    let al = a.limbs();
+    let bl = b.limbs();
+    let mut out = vec![0 as Limb; al.len() + bl.len()];
+    for (i, &bi) in bl.iter().enumerate() {
+        if bi == 0 {
+            continue;
+        }
+        let carry = addmul_1(&mut out[i..], al, bi);
+        debug_assert_eq!(carry, 0, "output buffer sized for the full product");
+    }
+    Nat::from_limbs(out)
+}
+
+/// `dst[..] += a * scalar`, returning the carry out of `dst`'s length.
+/// `dst.len()` must be at least `a.len() + 1` for a carry-free result.
+pub(crate) fn addmul_1(dst: &mut [Limb], a: &[Limb], scalar: Limb) -> Limb {
+    debug_assert!(dst.len() >= a.len());
+    let mut carry: Limb = 0;
+    for (i, &ai) in a.iter().enumerate() {
+        let (lo, hi) = mul_add_carry(ai, scalar, dst[i], carry);
+        dst[i] = lo;
+        carry = hi;
+    }
+    let mut i = a.len();
+    while carry != 0 && i < dst.len() {
+        let (s, c) = crate::limb::adc(dst[i], carry, 0);
+        dst[i] = s;
+        carry = c;
+        i += 1;
+    }
+    carry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_limb_products() {
+        let a = Nat::from(u64::MAX);
+        let p = mul(&a, &a);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expect = Nat::power_of_two(128) - Nat::power_of_two(65) + Nat::one();
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn matches_u128_for_small_values() {
+        for (x, y) in [(3u64, 5u64), (u64::MAX, 2), (12345, 67890)] {
+            let p = mul(&Nat::from(x), &Nat::from(y));
+            assert_eq!(p, Nat::from(u128::from(x) * u128::from(y)));
+        }
+    }
+
+    #[test]
+    fn commutative() {
+        let a = Nat::from_limbs(vec![1, 2, 3]);
+        let b = Nat::from_limbs(vec![u64::MAX, 7]);
+        assert_eq!(mul(&a, &b), mul(&b, &a));
+    }
+
+    #[test]
+    fn distributive_over_addition() {
+        let a = Nat::from_limbs(vec![5, 9, 1]);
+        let b = Nat::from_limbs(vec![3, 3]);
+        let c = Nat::from_limbs(vec![8, 1, 1, 1]);
+        let lhs = mul(&a, &(&b + &c));
+        let rhs = &mul(&a, &b) + &mul(&a, &c);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn addmul_1_accumulates() {
+        let mut dst = vec![0u64; 3];
+        let carry = addmul_1(&mut dst, &[u64::MAX, u64::MAX], 2);
+        assert_eq!(carry, 0);
+        // (2^128 - 1) * 2 = 2^129 - 2
+        let got = Nat::from_limbs(dst);
+        let expect = Nat::power_of_two(129) - Nat::from(2u64);
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,131 @@
+//! Toom-3 multiplication: five third-size products, O(n^1.465).
+//!
+//! Uses the Bodrato evaluation/interpolation sequence with points
+//! {0, 1, −1, −2, ∞}.
+
+use super::{mul_recursive, MulAlgorithm, Thresholds};
+use crate::int::Int;
+use crate::nat::Nat;
+
+/// Toom-3 multiplication of `a * b`.
+pub fn mul(a: &Nat, b: &Nat, algorithm: MulAlgorithm, th: &Thresholds) -> Nat {
+    let n = a.limb_len().max(b.limb_len());
+    debug_assert!(n >= 3);
+    let part_bits = n.div_ceil(3) as u64 * 64;
+
+    let xs = split3(a, part_bits);
+    let ys = split3(b, part_bits);
+
+    let ex = evaluate(&xs);
+    let ey = evaluate(&ys);
+
+    // Pointwise products at {0, 1, −1, −2, ∞}.
+    let r0 = mul_signed(&ex[0], &ey[0], algorithm, th);
+    let r1 = mul_signed(&ex[1], &ey[1], algorithm, th);
+    let rm1 = mul_signed(&ex[2], &ey[2], algorithm, th);
+    let rm2 = mul_signed(&ex[3], &ey[3], algorithm, th);
+    let rinf = mul_signed(&ex[4], &ey[4], algorithm, th);
+
+    // Bodrato interpolation sequence (points 0, 1, −1, −2, ∞).
+    let mut w3 = (&rm2 - &r1).div_exact_u64(3); // (r(−2) − r(1)) / 3
+    let mut w1 = (&r1 - &rm1).div_exact_u64(2); // (r(1) − r(−1)) / 2
+    let mut w2 = &rm1 - &r0; // r(−1) − r(0)
+    w3 = (&w2 - &w3).div_exact_u64(2) + rinf.mul_i128(2);
+    w2 = &(&w2 + &w1) - &rinf;
+    w1 = &w1 - &w3;
+
+    recompose(&[r0, w1, w2, w3, rinf], part_bits)
+}
+
+fn split3(x: &Nat, part_bits: u64) -> [Nat; 3] {
+    let (x0, rest) = x.split_at_bit(part_bits);
+    let (x1, x2) = rest.split_at_bit(part_bits);
+    [x0, x1, x2]
+}
+
+/// Evaluates the 3-part polynomial at {0, 1, −1, −2, ∞} (in that order).
+fn evaluate(p: &[Nat; 3]) -> [Int; 5] {
+    let p0 = Int::from_nat(p[0].clone());
+    let p1 = Int::from_nat(p[1].clone());
+    let p2 = Int::from_nat(p[2].clone());
+    let s02 = &p0 + &p2;
+    let e1 = &s02 + &p1; // p(1)
+    let em1 = &s02 - &p1; // p(−1)
+    // p(−2) = (p(−1) + p2) * 2 − p0
+    let em2 = &(&em1 + &p2).mul_i128(2) - &p0;
+    [p0, e1, em1, em2, p2]
+}
+
+fn mul_signed(a: &Int, b: &Int, algorithm: MulAlgorithm, th: &Thresholds) -> Int {
+    Int::from_sign_magnitude(
+        a.is_negative() != b.is_negative(),
+        mul_recursive(a.magnitude(), b.magnitude(), algorithm, th),
+    )
+}
+
+fn recompose(coeffs: &[Int; 5], part_bits: u64) -> Nat {
+    let mut acc = Int::zero();
+    for (i, c) in coeffs.iter().enumerate() {
+        acc += &c.shl_bits(part_bits * i as u64);
+    }
+    acc.into_nat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::mul::schoolbook;
+
+    fn pattern(limbs: usize, seed: u64) -> Nat {
+        let mut x = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        let v: Vec<u64> = (0..limbs)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+        Nat::from_limbs(v)
+    }
+
+    fn toom3(a: &Nat, b: &Nat) -> Nat {
+        mul(a, b, MulAlgorithm::Toom3, &Thresholds::default())
+    }
+
+    #[test]
+    fn matches_schoolbook() {
+        for n in [3usize, 6, 9, 17, 48, 99] {
+            let a = pattern(n, 1);
+            let b = pattern(n, 2);
+            assert_eq!(toom3(&a, &b), schoolbook::mul(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn handles_sparse_parts() {
+        // Middle part zero.
+        let a = &Nat::power_of_two(64 * 12) + &Nat::one();
+        let b = pattern(12, 7);
+        assert_eq!(toom3(&a, &b), schoolbook::mul(&a, &b));
+    }
+
+    #[test]
+    fn unbalanced_within_factor_two() {
+        let a = pattern(30, 3);
+        let b = pattern(17, 4);
+        assert_eq!(toom3(&a, &b), schoolbook::mul(&a, &b));
+    }
+
+    #[test]
+    fn evaluation_points_are_correct() {
+        // p(t) = 2 + 3t + 5t² → p(1)=10, p(−1)=4, p(−2)=16
+        let p = [Nat::from(2u64), Nat::from(3u64), Nat::from(5u64)];
+        let e = evaluate(&p);
+        assert_eq!(e[0], Int::from(2i64));
+        assert_eq!(e[1], Int::from(10i64));
+        assert_eq!(e[2], Int::from(4i64));
+        assert_eq!(e[3], Int::from(16i64));
+        assert_eq!(e[4], Int::from(5i64));
+    }
+}

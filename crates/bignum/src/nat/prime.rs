@@ -1,0 +1,155 @@
+//! Primality testing and prime generation (Miller–Rabin), used by the RSA
+//! application benchmark.
+
+use super::mont::MontgomeryCtx;
+use super::Nat;
+use rand::Rng;
+
+/// Small primes used for fast trial division.
+const SMALL_PRIMES: [u64; 25] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97,
+];
+
+impl Nat {
+    /// Probabilistic primality test: trial division by small primes, then
+    /// `rounds` Miller–Rabin rounds with deterministic-plus-random bases.
+    ///
+    /// ```
+    /// use apc_bignum::Nat;
+    /// use rand::SeedableRng;
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// assert!(Nat::from(1_000_000_007u64).is_probable_prime(16, &mut rng));
+    /// assert!(!Nat::from(1_000_000_009u64 * 3).is_probable_prime(16, &mut rng));
+    /// ```
+    pub fn is_probable_prime<R: Rng>(&self, rounds: u32, rng: &mut R) -> bool {
+        if self < &Nat::from(2u64) {
+            return false;
+        }
+        for &p in &SMALL_PRIMES {
+            let pn = Nat::from(p);
+            if self == &pn {
+                return true;
+            }
+            if (self % pn).is_zero() {
+                return false;
+            }
+        }
+        // self is odd and > 97 here.
+        let n_minus_1 = self - &Nat::one();
+        let s = n_minus_1.trailing_zeros().expect("n-1 > 0");
+        let d = n_minus_1.shr_bits(s);
+        let ctx = MontgomeryCtx::new(self.clone());
+
+        let fixed: &[u64] = &[2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+        let fixed_rounds = fixed.len().min(rounds as usize);
+        for &a in &fixed[..fixed_rounds] {
+            if !miller_rabin_round(self, &n_minus_1, &d, s, &Nat::from(a), &ctx) {
+                return false;
+            }
+        }
+        for _ in fixed_rounds..rounds as usize {
+            let a = Nat::random_below(&n_minus_1, rng).add_limb(2);
+            if a >= *self {
+                continue;
+            }
+            if !miller_rabin_round(self, &n_minus_1, &d, s, &a, &ctx) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Generates a random probable prime with exactly `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2`.
+    pub fn random_prime<R: Rng>(bits: u64, rng: &mut R) -> Nat {
+        assert!(bits >= 2, "primes need at least 2 bits");
+        loop {
+            let mut candidate = Nat::random_bits(bits, rng);
+            // Force exact bit length and oddness.
+            candidate = candidate.with_bit(bits - 1, true);
+            candidate = candidate.with_bit(0, true);
+            if candidate.is_probable_prime(24, rng) {
+                return candidate;
+            }
+        }
+    }
+}
+
+fn miller_rabin_round(
+    n: &Nat,
+    n_minus_1: &Nat,
+    d: &Nat,
+    s: u64,
+    a: &Nat,
+    ctx: &MontgomeryCtx,
+) -> bool {
+    let mut x = ctx.pow_mod(a, d);
+    if x.is_one() || &x == n_minus_1 {
+        return true;
+    }
+    for _ in 1..s {
+        x = &(&x * &x) % n;
+        if &x == n_minus_1 {
+            return true;
+        }
+        if x.is_one() {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn small_primes_and_composites() {
+        let mut r = rng();
+        let primes = [2u64, 3, 5, 7, 97, 101, 65537, 1_000_000_007];
+        for p in primes {
+            assert!(Nat::from(p).is_probable_prime(16, &mut r), "{p}");
+        }
+        let composites = [0u64, 1, 4, 9, 91, 561, 65535, 1_000_000_005];
+        for c in composites {
+            assert!(!Nat::from(c).is_probable_prime(16, &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!Nat::from(c).is_probable_prime(16, &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        // 2^127 − 1 is a Mersenne prime.
+        let m127 = Nat::power_of_two(127) - Nat::one();
+        assert!(m127.is_probable_prime(16, &mut rng()));
+        // 2^128 + 1 is composite (factor 59649589127497217).
+        let f7ish = Nat::power_of_two(128) + Nat::one();
+        assert!(!f7ish.is_probable_prime(16, &mut rng()));
+    }
+
+    #[test]
+    fn random_prime_has_requested_size() {
+        let mut r = rng();
+        let p = Nat::random_prime(96, &mut r);
+        assert_eq!(p.bit_len(), 96);
+        assert!(!p.is_even());
+        assert!(p.is_probable_prime(16, &mut r));
+    }
+}

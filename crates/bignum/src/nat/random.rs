@@ -1,0 +1,108 @@
+//! Random natural number generation — workload generation for the
+//! benchmarks (random N-bit multiplication operands, RSA messages, …).
+
+use super::Nat;
+use rand::Rng;
+
+impl Nat {
+    /// A uniformly random natural below `2^bits` (bit length may be less
+    /// than `bits` if the top bits come up zero).
+    ///
+    /// ```
+    /// use apc_bignum::Nat;
+    /// use rand::SeedableRng;
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let n = Nat::random_bits(1000, &mut rng);
+    /// assert!(n.bit_len() <= 1000);
+    /// ```
+    pub fn random_bits<R: Rng>(bits: u64, rng: &mut R) -> Nat {
+        if bits == 0 {
+            return Nat::zero();
+        }
+        let limbs = bits.div_ceil(64) as usize;
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        let rem = bits % 64;
+        if rem != 0 {
+            let mask = (1u64 << rem) - 1;
+            v[limbs - 1] &= mask;
+        }
+        Nat::from_limbs(v)
+    }
+
+    /// A random natural with *exactly* `bits` significant bits (top bit
+    /// forced to one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn random_exact_bits<R: Rng>(bits: u64, rng: &mut R) -> Nat {
+        assert!(bits > 0, "cannot force a top bit on zero bits");
+        Nat::random_bits(bits, rng).with_bit(bits - 1, true)
+    }
+
+    /// A uniformly random natural in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: Rng>(bound: &Nat, rng: &mut R) -> Nat {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bit_len();
+        loop {
+            let candidate = Nat::random_bits(bits, rng);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [1u64, 63, 64, 65, 1000] {
+            for _ in 0..20 {
+                let n = Nat::random_bits(bits, &mut rng);
+                assert!(n.bit_len() <= bits, "bits={bits}");
+            }
+        }
+        assert!(Nat::random_bits(0, &mut rng).is_zero());
+    }
+
+    #[test]
+    fn random_exact_bits_forces_top_bit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [1u64, 64, 129] {
+            for _ in 0..10 {
+                assert_eq!(Nat::random_exact_bits(bits, &mut rng).bit_len(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn random_below_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = Nat::from(1000u64);
+        for _ in 0..100 {
+            assert!(Nat::random_below(&bound, &mut rng) < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bound = Nat::from(2u64);
+        let mut seen = [false; 2];
+        for _ in 0..50 {
+            let v = Nat::random_below(&bound, &mut rng).to_u64().unwrap();
+            seen[v as usize] = true;
+        }
+        assert!(seen[0] && seen[1], "both values of [0,2) should appear");
+    }
+}

@@ -1,0 +1,129 @@
+//! Integer k-th roots by Newton iteration — rounding out the MPN-layer
+//! operator set (GMP ships `mpn_rootrem`; the paper's number-theory
+//! workloads, e.g. Computational Number Theory at ~7,000,000 bits, lean on
+//! such operators).
+
+use super::Nat;
+
+impl Nat {
+    /// Returns `⌊self^(1/k)⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    ///
+    /// ```
+    /// use apc_bignum::Nat;
+    /// assert_eq!(Nat::from(1_000u64).nth_root(3).to_u64(), Some(10));
+    /// assert_eq!(Nat::from(999u64).nth_root(3).to_u64(), Some(9));
+    /// assert_eq!(Nat::from(5u64).nth_root(1).to_u64(), Some(5));
+    /// ```
+    pub fn nth_root(&self, k: u32) -> Nat {
+        assert!(k > 0, "zeroth root is undefined");
+        if k == 1 || self.is_zero() || self.is_one() {
+            return self.clone();
+        }
+        if k == 2 {
+            return self.isqrt();
+        }
+        let bits = self.bit_len();
+        if u64::from(k) >= bits {
+            // 2^(bits−1) ≤ self < 2^bits and root < 2 ⇒ root is 1.
+            return Nat::one();
+        }
+        // Newton for f(x) = x^k − n: x ← ((k−1)·x + n/x^(k−1)) / k,
+        // seeded from an upper bound 2^⌈bits/k⌉ (monotone decreasing).
+        let mut x = Nat::power_of_two(bits.div_ceil(u64::from(k)));
+        loop {
+            let xk1 = x.pow(k - 1);
+            let y = (&x.mul_limb(u64::from(k) - 1) + &(self / &xk1)).divrem_limb(u64::from(k)).0;
+            if y >= x {
+                break;
+            }
+            x = y;
+        }
+        // Newton's integer fixpoint can rest one above the floor root.
+        while x.pow(k) > *self {
+            x = &x - &Nat::one();
+        }
+        x
+    }
+
+    /// Returns `(root, remainder)` with `root = ⌊self^(1/k)⌋` and
+    /// `remainder = self − root^k`.
+    pub fn nth_root_rem(&self, k: u32) -> (Nat, Nat) {
+        let r = self.nth_root(k);
+        let rem = self - &r.pow(k);
+        (r, rem)
+    }
+
+    /// Whether `self` is a perfect k-th power.
+    ///
+    /// ```
+    /// use apc_bignum::Nat;
+    /// assert!(Nat::from(243u64).is_perfect_power(5));
+    /// assert!(!Nat::from(244u64).is_perfect_power(5));
+    /// ```
+    pub fn is_perfect_power(&self, k: u32) -> bool {
+        self.nth_root_rem(k).1.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubes_and_fifths_small() {
+        for v in 0u64..200 {
+            let n = Nat::from(v);
+            for k in [2u32, 3, 5] {
+                let r = n.nth_root(k).to_u64().unwrap();
+                assert!(r.pow(k) <= v, "v={v} k={k}");
+                assert!((r + 1).pow(k) > v, "v={v} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_large_powers() {
+        let base = Nat::from(0xDEAD_BEEF_u64);
+        for k in [3u32, 7, 11] {
+            let n = base.pow(k);
+            let (r, rem) = n.nth_root_rem(k);
+            assert_eq!(r, base, "k={k}");
+            assert!(rem.is_zero());
+            let off = &n + &Nat::one();
+            assert_eq!(off.nth_root(k), base, "k={k} (+1)");
+        }
+    }
+
+    #[test]
+    fn root_of_huge_number() {
+        let n = (Nat::power_of_two(3000) - Nat::one()).mul_limb(12345);
+        let r = n.nth_root(5);
+        assert!(r.pow(5) <= n);
+        assert!((&r + &Nat::one()).pow(5) > n);
+    }
+
+    #[test]
+    fn high_order_roots_collapse_to_one() {
+        let n = Nat::from(1000u64); // 10 bits
+        assert_eq!(n.nth_root(11).to_u64(), Some(1));
+        assert_eq!(n.nth_root(100).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn agrees_with_isqrt() {
+        let n = Nat::from(10u64).pow(40) + Nat::from(9u64);
+        assert_eq!(n.nth_root(2), n.isqrt());
+    }
+
+    #[test]
+    fn perfect_power_detection() {
+        let b = Nat::from(99u64);
+        assert!(b.pow(9).is_perfect_power(9));
+        assert!(b.pow(9).is_perfect_power(3)); // (99³)³
+        assert!(!(&b.pow(9) + &Nat::one()).is_perfect_power(9));
+    }
+}

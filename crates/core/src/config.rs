@@ -1,0 +1,140 @@
+//! Architecture configuration — the paper's implemented design point and
+//! knobs for ablation studies.
+
+/// Configuration of a Cambricon-P instance.
+///
+/// The default matches the synthesized design of §VII-A: 256 PEs × 32 IPUs,
+/// q = 4 bitflows per operand group, L = 32-bit limbs, 2 GHz in TSMC 16 nm,
+/// 1.894 mm², 3.644 W, LLC-integrated with 512 GB/s of bandwidth.
+///
+/// ```
+/// use cambricon_p::ArchConfig;
+/// let cfg = ArchConfig::default();
+/// assert_eq!(cfg.total_ipus(), 256 * 32);
+/// assert!((cfg.peak_limb_macs_per_cycle() - 1024.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// Number of processing elements.
+    pub n_pe: usize,
+    /// Inner-product units per PE.
+    pub n_ipu: usize,
+    /// Bitflows per operand group — the `q` of the BIPS analysis (§IV-B).
+    pub q: u32,
+    /// Limb width in bits (`L` in the paper; also `p_y` of the bops
+    /// analysis).
+    pub limb_bits: u32,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Die area in mm² (from synthesis, §VII-A).
+    pub area_mm2: f64,
+    /// Power in watts at the design clock (§VII-A).
+    pub power_w: f64,
+    /// LLC bandwidth available to the device, GB/s (Table III).
+    pub llc_bandwidth_gbs: f64,
+    /// Fraction of cycles the Memory Agent is forced idle to preserve CPU
+    /// memory ordering/coherence (§VII-B derates bandwidth by 50%).
+    pub ma_idle_fraction: f64,
+    /// Largest multiplication processed as a single monolithic
+    /// inner-product pass ("up to N = 35904", §VII-B).
+    pub max_monolithic_bits: u64,
+    /// Pipeline fill/drain overhead per monolithic operation, in cycles
+    /// (calibrated so a 4096×4096 multiply costs 32 cycles = 16 ns at
+    /// 2 GHz, matching Table III).
+    pub pipeline_fill_cycles: u64,
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig {
+            n_pe: 256,
+            n_ipu: 32,
+            q: 4,
+            limb_bits: 32,
+            clock_ghz: 2.0,
+            area_mm2: 1.894,
+            power_w: 3.644,
+            llc_bandwidth_gbs: 512.0,
+            ma_idle_fraction: 0.5,
+            max_monolithic_bits: 35_904,
+            pipeline_fill_cycles: 16,
+        }
+    }
+}
+
+impl ArchConfig {
+    /// Total IPUs on the device.
+    pub fn total_ipus(&self) -> usize {
+        self.n_pe * self.n_ipu
+    }
+
+    /// Peak limb-MAC throughput per cycle.
+    ///
+    /// Each IPU streams `limb_bits` index bits and accumulates `q` limb
+    /// products per pass, i.e. `q / limb_bits` limb-MACs per cycle;
+    /// multiplied across all IPUs.
+    pub fn peak_limb_macs_per_cycle(&self) -> f64 {
+        self.total_ipus() as f64 * f64::from(self.q) / f64::from(self.limb_bits)
+    }
+
+    /// Seconds per clock cycle.
+    pub fn cycle_seconds(&self) -> f64 {
+        1e-9 / self.clock_ghz
+    }
+
+    /// Effective memory bandwidth after the Memory Agent idle derate
+    /// (bytes/second).
+    pub fn effective_bandwidth_bytes(&self) -> f64 {
+        self.llc_bandwidth_gbs * 1e9 * (1.0 - self.ma_idle_fraction)
+    }
+
+    /// Peak arithmetic throughput in bit-operations per second: every IPU
+    /// retires `q` pattern-indexed bit accumulations per cycle across
+    /// `limb_bits`-wide adders.
+    pub fn peak_bitops_per_second(&self) -> f64 {
+        self.total_ipus() as f64
+            * f64::from(self.q)
+            * f64::from(self.limb_bits)
+            * self.clock_ghz
+            * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_design_point() {
+        let c = ArchConfig::default();
+        assert_eq!(c.n_pe, 256);
+        assert_eq!(c.n_ipu, 32);
+        assert_eq!(c.q, 4);
+        assert_eq!(c.limb_bits, 32);
+        assert!((c.area_mm2 - 1.894).abs() < 1e-12);
+        assert!((c.power_w - 3.644).abs() < 1e-12);
+        assert_eq!(c.max_monolithic_bits, 35_904);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let c = ArchConfig::default();
+        assert!((c.cycle_seconds() - 0.5e-9).abs() < 1e-18);
+        assert!((c.effective_bandwidth_bytes() - 256e9).abs() < 1.0);
+        // 8192 IPUs × 4 limb-MACs per 32 cycles = 1024 limb-MACs/cycle.
+        assert!((c.peak_limb_macs_per_cycle() - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_iii_calibration_point() {
+        // A 4096×4096-bit monolithic multiply: 128×128 limb MACs at 1024
+        // MACs/cycle = 16 cycles + 16 fill = 32 cycles = 16 ns at 2 GHz,
+        // matching the 1.60×10⁻⁸ s of Table III.
+        let c = ArchConfig::default();
+        let macs = (4096 / 32) * (4096 / 32);
+        let cycles = (f64::from(macs) / c.peak_limb_macs_per_cycle()).ceil() as u64
+            + c.pipeline_fill_cycles;
+        let t = cycles as f64 * c.cycle_seconds();
+        assert!((t - 1.6e-8).abs() < 1e-12, "t={t}");
+    }
+}

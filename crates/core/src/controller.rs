@@ -1,0 +1,186 @@
+//! The two-level fractal control scheme (§V-B3): the Core Controller (CC)
+//! decomposes an arbitrary-precision inner production into N_PE smaller
+//! inner productions and maps them onto PEs; each PE Controller (PEC)
+//! decomposes its piece further onto IPUs. Both levels speak the same
+//! instruction form — the "fractal controlling scheme" the paper borrows
+//! from Cambricon-F.
+
+use crate::config::ArchConfig;
+
+/// The inner-production workload form both controller levels decompose.
+/// Ranges are limb indices into the operand vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InnerProduction {
+    /// First element index (inclusive).
+    pub start: usize,
+    /// One past the last element index.
+    pub end: usize,
+}
+
+impl InnerProduction {
+    /// A workload over `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "inverted range");
+        InnerProduction { start, end }
+    }
+
+    /// Number of element pairs.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Decomposes into at most `units` contiguous sub-workloads of
+    /// near-equal size — the operation both the CC (across PEs) and the
+    /// PEC (across IPUs, in q-element groups) perform.
+    pub fn decompose(&self, units: usize, granularity: usize) -> Vec<InnerProduction> {
+        assert!(units > 0 && granularity > 0);
+        if self.is_empty() {
+            return Vec::new();
+        }
+        // Round the per-unit share up to whole granules (q-limb groups for
+        // the PEC; arbitrary for the CC).
+        let granules = self.len().div_ceil(granularity);
+        let per_unit = granules.div_ceil(units) * granularity;
+        let mut out = Vec::new();
+        let mut pos = self.start;
+        while pos < self.end {
+            let end = (pos + per_unit).min(self.end);
+            out.push(InnerProduction::new(pos, end));
+            pos = end;
+        }
+        out
+    }
+}
+
+/// One fully decomposed control schedule: CC → PEs → IPUs.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Per-PE workload (index = PE id), then per-IPU within each PE.
+    pub per_pe: Vec<(InnerProduction, Vec<InnerProduction>)>,
+}
+
+/// Runs the two-level decomposition for an inner production of
+/// `elements` limb pairs.
+///
+/// ```
+/// use cambricon_p::controller::schedule;
+/// use cambricon_p::ArchConfig;
+///
+/// let s = schedule(10_000, &ArchConfig::default());
+/// // Every limb pair is assigned exactly once.
+/// let total: usize = s
+///     .per_pe
+///     .iter()
+///     .flat_map(|(_, ipus)| ipus.iter().map(|w| w.len()))
+///     .sum();
+/// assert_eq!(total, 10_000);
+/// ```
+pub fn schedule(elements: usize, config: &ArchConfig) -> Schedule {
+    let root = InnerProduction::new(0, elements);
+    let q = config.q as usize;
+    let per_pe = root
+        .decompose(config.n_pe, q)
+        .into_iter()
+        .map(|pe_work| {
+            let ipu_work = pe_work.decompose(config.n_ipu, q);
+            (pe_work, ipu_work)
+        })
+        .collect();
+    Schedule { per_pe }
+}
+
+impl Schedule {
+    /// Checks the fractal invariants: coverage (every index exactly once,
+    /// in order) and fit (no more PEs/IPUs used than exist).
+    pub fn verify(&self, elements: usize, config: &ArchConfig) -> bool {
+        if self.per_pe.len() > config.n_pe {
+            return false;
+        }
+        let mut cursor = 0usize;
+        for (pe_work, ipus) in &self.per_pe {
+            if ipus.len() > config.n_ipu {
+                return false;
+            }
+            if pe_work.start != cursor {
+                return false;
+            }
+            let mut inner = pe_work.start;
+            for w in ipus {
+                if w.start != inner {
+                    return false;
+                }
+                inner = w.end;
+            }
+            if inner != pe_work.end {
+                return false;
+            }
+            cursor = pe_work.end;
+        }
+        cursor == elements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_even_split() {
+        let w = InnerProduction::new(0, 100);
+        let parts = w.decompose(4, 1);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.len() == 25));
+    }
+
+    #[test]
+    fn decompose_respects_granularity() {
+        let w = InnerProduction::new(0, 100);
+        for p in w.decompose(3, 4) {
+            // Every piece except possibly the last is a multiple of q = 4.
+            assert!(p.len() % 4 == 0 || p.end == 100, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn decompose_small_workload_uses_few_units() {
+        let w = InnerProduction::new(0, 5);
+        let parts = w.decompose(256, 4);
+        assert!(parts.len() <= 2);
+        assert_eq!(parts.iter().map(InnerProduction::len).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn schedule_verifies_across_sizes() {
+        let cfg = ArchConfig::default();
+        for elements in [0usize, 1, 4, 100, 1122, 8192, 100_000] {
+            let s = schedule(elements, &cfg);
+            assert!(s.verify(elements, &cfg), "elements={elements}");
+        }
+    }
+
+    #[test]
+    fn schedule_on_toy_config() {
+        let cfg = ArchConfig {
+            n_pe: 2,
+            n_ipu: 2,
+            q: 2,
+            ..ArchConfig::default()
+        };
+        let s = schedule(13, &cfg);
+        assert!(s.verify(13, &cfg));
+        // 13 elements over 2 PEs at granularity 2: first PE gets 8, second 5.
+        assert_eq!(s.per_pe[0].0.len(), 8);
+        assert_eq!(s.per_pe[1].0.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_rejected() {
+        let _ = InnerProduction::new(5, 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! The Converter — the *patterns generation* stage of BIPS (Fig. 8, Fig. 9b).
+//!
+//! One input vector x⃗ of q limbs streams in as q bitflows; the Converter
+//! produces 2^q bitflows, one per subset sum of x⃗'s elements (all possible
+//! values of x⃗·K for the fixed pattern matrix K). Repeated additions are
+//! saved by reusing previous results — e.g. z₁₅ is computed from
+//! z₃ = x₀+x₁ and z₁₂ = x₂+x₃ — so only 2^q − q − 1 adders are live.
+
+use crate::bops::BopsTally;
+use apc_bignum::Nat;
+
+/// Result of one Converter pass: the 2^q patterns and the bops spent.
+#[derive(Debug, Clone)]
+pub struct Patterns {
+    /// patterns[s] = Σ_{i ∈ s} x_i, for every subset bitmask s.
+    values: Vec<Nat>,
+    /// Width of each input element in bits.
+    element_bits: u64,
+    tally: BopsTally,
+}
+
+impl Patterns {
+    /// The pattern value for subset mask `s`.
+    pub fn get(&self, s: usize) -> &Nat {
+        &self.values[s]
+    }
+
+    /// All 2^q patterns, indexed by subset mask.
+    pub fn as_slice(&self) -> &[Nat] {
+        &self.values
+    }
+
+    /// Number of patterns (2^q).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether there are no patterns (never true after generation).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Width of the input elements.
+    pub fn element_bits(&self) -> u64 {
+        self.element_bits
+    }
+
+    /// bops spent generating these patterns.
+    pub fn tally(&self) -> &BopsTally {
+        &self.tally
+    }
+}
+
+/// Generates all 2^q subset-sum patterns of `xs` (the Converter pass).
+///
+/// Reuses sub-sums exactly like the hardware: pattern for mask `s` is
+/// computed as `pattern[s without lowest bit] + x[lowest bit]`, a single
+/// addition.
+///
+/// ```
+/// use apc_bignum::Nat;
+/// use cambricon_p::converter::generate_patterns;
+///
+/// let xs = [Nat::from(5u64), Nat::from(11u64)];
+/// let p = generate_patterns(&xs, 4);
+/// assert_eq!(p.get(0b00).to_u64(), Some(0));
+/// assert_eq!(p.get(0b01).to_u64(), Some(5));
+/// assert_eq!(p.get(0b10).to_u64(), Some(11));
+/// assert_eq!(p.get(0b11).to_u64(), Some(16));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any element exceeds `element_bits` bits or if `xs` has more
+/// than 16 elements (2^q patterns must stay addressable).
+pub fn generate_patterns(xs: &[Nat], element_bits: u64) -> Patterns {
+    let q = xs.len();
+    assert!(q <= 16, "pattern table of 2^{q} entries is not realizable");
+    for (i, x) in xs.iter().enumerate() {
+        assert!(
+            x.bit_len() <= element_bits,
+            "element {i} has {} bits > {element_bits}",
+            x.bit_len()
+        );
+    }
+    let mut values = Vec::with_capacity(1 << q);
+    values.push(Nat::zero());
+    let mut tally = BopsTally::default();
+    for s in 1usize..(1 << q) {
+        let low = s.trailing_zeros() as usize;
+        let rest = s & (s - 1);
+        if rest == 0 {
+            // Singleton: the input itself, no addition.
+            values.push(xs[low].clone());
+        } else {
+            let v = &values[rest] + &xs[low];
+            // One addition of element-width operands (the accumulating side
+            // may have grown by log2(q) bits; count the wider width).
+            tally.pattern_generation += values[rest].bit_len().max(element_bits);
+            values.push(v);
+        }
+    }
+    Patterns {
+        values,
+        element_bits,
+        tally,
+    }
+}
+
+/// Number of adders a q-input Converter instantiates (2^q − q − 1), per the
+/// paper's benefit analysis.
+pub fn converter_adder_count(q: u32) -> u64 {
+    (1u64 << q) - u64::from(q) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nats(vals: &[u64]) -> Vec<Nat> {
+        vals.iter().map(|&v| Nat::from(v)).collect()
+    }
+
+    #[test]
+    fn four_element_patterns_cover_all_subsets() {
+        let xs = nats(&[1, 2, 4, 8]);
+        let p = generate_patterns(&xs, 32);
+        // With powers of two, pattern[s] == s.
+        for s in 0..16usize {
+            assert_eq!(p.get(s).to_u64(), Some(s as u64), "mask {s:#b}");
+        }
+        assert_eq!(p.len(), 16);
+    }
+
+    #[test]
+    fn pattern_reuse_matches_paper_example() {
+        // Figure 9(b): z15 built from z3 = x0+x1 and z12 = x2+x3 — i.e.
+        // every composite pattern costs exactly one addition.
+        let xs = nats(&[3, 5, 7, 9]);
+        let p = generate_patterns(&xs, 32);
+        assert_eq!(p.get(0b1111).to_u64(), Some(24));
+        assert_eq!(p.get(0b0011).to_u64(), Some(8));
+        assert_eq!(p.get(0b1100).to_u64(), Some(16));
+        // 2^4 − 4 − 1 = 11 additions, each counted at ≥ element width.
+        assert!(p.tally().pattern_generation >= 11 * 4); // elements are 4 bits
+    }
+
+    #[test]
+    fn adder_count_formula() {
+        assert_eq!(converter_adder_count(2), 1);
+        assert_eq!(converter_adder_count(4), 11);
+        assert_eq!(converter_adder_count(6), 57);
+    }
+
+    #[test]
+    fn wide_elements_supported() {
+        // Arbitrary p_x: the Converter is bit-serial, so element width is
+        // unbounded (this is what lets Cambricon-P reuse patterns across a
+        // whole monolithic operand).
+        let xs = vec![
+            Nat::power_of_two(1000),
+            Nat::power_of_two(999),
+            Nat::from(1u64),
+            Nat::zero(),
+        ];
+        let p = generate_patterns(&xs, 1001);
+        assert_eq!(
+            p.get(0b0111),
+            &(&(&Nat::power_of_two(1000) + &Nat::power_of_two(999)) + &Nat::one())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn oversized_element_rejected() {
+        let xs = nats(&[256]);
+        let _ = generate_patterns(&xs, 8);
+    }
+}

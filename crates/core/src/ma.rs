@@ -1,0 +1,123 @@
+//! Memory Agents (CMA/PEMA) — bitflow packetization (§V-B3).
+//!
+//! "Data are prefetched into and read from the LLC as cache lines, then
+//! dispatched in block (4 flows, each of 32-bit length) onto the
+//! core-level internal data bus. The data block is saved in PEMAs and
+//! consumed over time till the next data block arrives."
+//!
+//! This module models that packetization: an operand becomes a sequence of
+//! q×L-bit blocks, each feeding q bitflows for L cycles; reassembly is
+//! validated against the original value, and the block count drives the
+//! bus-occupancy component of the timing model.
+
+use crate::bitflow::Bitflow;
+use crate::config::ArchConfig;
+use apc_bignum::Nat;
+
+/// One bus block: q flows of L bits each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The q flows (limb values), least significant first.
+    pub flows: Vec<Bitflow>,
+}
+
+impl Block {
+    /// Cycles to consume the block (one bit of each flow per cycle).
+    pub fn cycles(&self) -> u64 {
+        self.flows.first().map_or(0, Bitflow::len)
+    }
+}
+
+/// Packetizes an operand into bus blocks of q flows × L bits.
+///
+/// ```
+/// use apc_bignum::Nat;
+/// use cambricon_p::ma::{packetize, reassemble};
+/// use cambricon_p::ArchConfig;
+///
+/// let cfg = ArchConfig::default();
+/// let x = Nat::power_of_two(1000) - Nat::from(99u64);
+/// let blocks = packetize(&x, &cfg);
+/// assert_eq!(reassemble(&blocks, &cfg), x);
+/// ```
+pub fn packetize(x: &Nat, config: &ArchConfig) -> Vec<Block> {
+    let l = u64::from(config.limb_bits);
+    let q = config.q as usize;
+    let limbs = crate::transform::to_limb_vector(x, config.limb_bits);
+    limbs
+        .chunks(q)
+        .map(|chunk| {
+            let mut flows: Vec<Bitflow> = chunk
+                .iter()
+                .map(|v| Bitflow::from_nat(v.clone(), l))
+                .collect();
+            while flows.len() < q {
+                flows.push(Bitflow::zeros(l));
+            }
+            Block { flows }
+        })
+        .collect()
+}
+
+/// Reassembles packetized blocks back into the operand value.
+pub fn reassemble(blocks: &[Block], config: &ArchConfig) -> Nat {
+    let l = u64::from(config.limb_bits);
+    let mut limbs = Vec::new();
+    for b in blocks {
+        for f in &b.flows {
+            limbs.push(f.value().clone());
+        }
+    }
+    Nat::from_chunks(&limbs, l)
+}
+
+/// Bus beats (block transfers) needed to stream an operand — the
+/// core-bus occupancy term of the §V-B3 dataflow.
+pub fn bus_blocks(bits: u64, config: &ArchConfig) -> u64 {
+    let block_bits = u64::from(config.limb_bits) * u64::from(config.q);
+    bits.div_ceil(block_bits).max(1)
+}
+
+/// Cache lines touched in the LLC for an operand (64-byte lines).
+pub fn llc_lines(bits: u64) -> u64 {
+    bits.div_ceil(512).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packetize_roundtrip_various_sizes() {
+        let cfg = ArchConfig::default();
+        for bits in [1u64, 32, 128, 129, 1000, 4096] {
+            let x = Nat::power_of_two(bits) - Nat::one();
+            assert_eq!(reassemble(&packetize(&x, &cfg), &cfg), x, "bits={bits}");
+        }
+        assert!(reassemble(&packetize(&Nat::zero(), &cfg), &cfg).is_zero());
+    }
+
+    #[test]
+    fn block_shape_matches_paper() {
+        // "4 flows, each of 32-bit length".
+        let cfg = ArchConfig::default();
+        let x = Nat::power_of_two(400);
+        let blocks = packetize(&x, &cfg);
+        for b in &blocks {
+            assert_eq!(b.flows.len(), 4);
+            assert_eq!(b.cycles(), 32);
+        }
+        // 401 bits → 13 limbs → 4 blocks.
+        assert_eq!(blocks.len(), 4);
+    }
+
+    #[test]
+    fn bus_accounting() {
+        let cfg = ArchConfig::default();
+        assert_eq!(bus_blocks(128, &cfg), 1);
+        assert_eq!(bus_blocks(129, &cfg), 2);
+        assert_eq!(bus_blocks(4096, &cfg), 32);
+        assert_eq!(llc_lines(512), 1);
+        assert_eq!(llc_lines(513), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! A Cambricon-P Processing Element: Converter + N_IPU bit-indexed IPUs +
+//! Gather Unit (Fig. 9a, right).
+//!
+//! One PE pass computes the contribution of a single q-limb *pattern
+//! block* of operand x to up to N_IPU consecutive convolution outputs: the
+//! Converter turns the block into 2^q pattern flows (once — this is the
+//! inter-IPU data reuse of §IV-A), every IPU indexes those patterns with
+//! its own q-limb slice of operand y, and the GU folds the strided IPU
+//! outputs with carry parallel computing.
+
+use crate::bops::BopsTally;
+use crate::converter::{generate_patterns, Patterns};
+use crate::gu::{cycles_carry_parallel, gather_carry_parallel};
+use crate::ipu::bit_indexed_inner_product;
+use apc_bignum::Nat;
+
+/// Result of one PE pass.
+#[derive(Debug, Clone)]
+pub struct PeResult {
+    /// The gathered flow: Σₖ ipu_k · 2^(k·L).
+    pub gathered: Nat,
+    /// Raw per-IPU inner products (before gathering).
+    pub per_ipu: Vec<Nat>,
+    /// bops spent (Converter + all IPUs).
+    pub tally: BopsTally,
+    /// Cycles: one index-stream pass plus GU pipeline fill.
+    pub cycles: u64,
+}
+
+/// Runs one PE pass.
+///
+/// * `x_block` — the q pattern limbs (each ≤ `limb_bits` wide).
+/// * `ys_per_ipu` — one q-limb index tuple per active IPU; IPU `k`'s
+///   output is accumulated at significance `k·limb_bits` by the GU.
+///
+/// ```
+/// use apc_bignum::Nat;
+/// use cambricon_p::pe::pe_pass;
+///
+/// // One IPU: (3,5)·(2,4) = 26; second IPU: (3,5)·(1,1) = 8.
+/// let x = [Nat::from(3u64), Nat::from(5u64)];
+/// let ys = vec![
+///     vec![Nat::from(2u64), Nat::from(4u64)],
+///     vec![Nat::from(1u64), Nat::from(1u64)],
+/// ];
+/// let r = pe_pass(&x, &ys, 8);
+/// assert_eq!(r.per_ipu[0].to_u64(), Some(26));
+/// assert_eq!(r.per_ipu[1].to_u64(), Some(8));
+/// assert_eq!(r.gathered.to_u64(), Some(26 + (8 << 8)));
+/// ```
+///
+/// # Panics
+///
+/// Panics if an index tuple length differs from the pattern block length.
+pub fn pe_pass(x_block: &[Nat], ys_per_ipu: &[Vec<Nat>], limb_bits: u32) -> PeResult {
+    let patterns: Patterns = generate_patterns(x_block, u64::from(limb_bits));
+    let mut tally = *patterns.tally();
+    let mut per_ipu = Vec::with_capacity(ys_per_ipu.len());
+    for ys in ys_per_ipu {
+        assert_eq!(
+            ys.len(),
+            x_block.len(),
+            "index tuple arity must match the pattern block"
+        );
+        let out = bit_indexed_inner_product(&patterns, ys, u64::from(limb_bits));
+        tally.merge(&out.tally);
+        per_ipu.push(out.value);
+    }
+    let gathered = gather_carry_parallel(&per_ipu, limb_bits);
+    let output_bits = gathered.value.bit_len();
+    PeResult {
+        gathered: gathered.value,
+        per_ipu,
+        tally,
+        cycles: u64::from(limb_bits) + cycles_carry_parallel(output_bits, limb_bits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limb(v: u64) -> Nat {
+        Nat::from(v)
+    }
+
+    #[test]
+    fn single_ipu_is_plain_inner_product() {
+        let x = [limb(7), limb(9), limb(2), limb(1)];
+        let y = vec![vec![limb(3), limb(4), limb(5), limb(6)]];
+        let r = pe_pass(&x, &y, 8);
+        assert_eq!(r.per_ipu[0].to_u64(), Some(7 * 3 + 9 * 4 + 2 * 5 + 6));
+        assert_eq!(r.gathered, r.per_ipu[0]);
+    }
+
+    #[test]
+    fn gather_places_ipus_at_stride_l() {
+        let x = [limb(1), limb(0)];
+        let ys: Vec<Vec<Nat>> = (0..4).map(|k| vec![limb(k + 1), limb(0)]).collect();
+        let r = pe_pass(&x, &ys, 16);
+        // IPU k yields k+1; gathered = Σ (k+1)·2^(16k).
+        let expect = 1u64 + (2 << 16) + (3 << 32) + (4 << 48);
+        assert_eq!(r.gathered.to_u64(), Some(expect));
+    }
+
+    #[test]
+    fn pattern_reuse_counts_converter_once() {
+        let x = [limb(0xAB), limb(0xCD), limb(0x12), limb(0x34)];
+        let one = vec![limb(1), limb(1), limb(1), limb(1)];
+        let many: Vec<Vec<Nat>> = (0..8).map(|_| one.clone()).collect();
+        let r8 = pe_pass(&x, &many, 8);
+        let r1 = pe_pass(&x, &many[..1], 8);
+        // Pattern generation cost identical regardless of IPU count.
+        assert_eq!(r8.tally.pattern_generation, r1.tally.pattern_generation);
+        assert!(r8.tally.weighted_gather > r1.tally.weighted_gather);
+    }
+
+    #[test]
+    fn overlapping_strided_outputs_accumulate() {
+        // Adjacent IPU outputs are 2L-bit values at stride L: overlaps add.
+        let x = [limb(0xFF), limb(0xFF)];
+        let y = vec![limb(0xFF), limb(0xFF)];
+        let ys = vec![y.clone(), y];
+        let r = pe_pass(&x, &ys, 8);
+        let ip = 0xFFu64 * 0xFF * 2; // each IPU: 130050
+        assert_eq!(r.gathered.to_u64(), Some(ip + (ip << 8)));
+    }
+}

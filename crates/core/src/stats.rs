@@ -1,0 +1,171 @@
+//! Cycle, energy and operation accounting for the device model.
+
+use crate::bops::BopsTally;
+use crate::config::ArchConfig;
+
+/// Operation classes tracked by the runtime (matching the Figure 2
+/// breakdown categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Long multiplication (including squaring).
+    Mul,
+    /// Long addition / subtraction.
+    AddSub,
+    /// Bit shifts.
+    Shift,
+    /// Division.
+    Div,
+    /// Square root.
+    Sqrt,
+    /// Inner products / convolutions issued directly.
+    InnerProduct,
+    /// Everything else (host-side trivia).
+    Other,
+}
+
+impl OpClass {
+    /// All classes, for iteration in reports.
+    pub const ALL: [OpClass; 7] = [
+        OpClass::Mul,
+        OpClass::AddSub,
+        OpClass::Shift,
+        OpClass::Div,
+        OpClass::Sqrt,
+        OpClass::InnerProduct,
+        OpClass::Other,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Mul => "Multiply",
+            OpClass::AddSub => "Add/Sub",
+            OpClass::Shift => "Shift",
+            OpClass::Div => "Division",
+            OpClass::Sqrt => "Sqrt",
+            OpClass::InnerProduct => "InnerProduct",
+            OpClass::Other => "Other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Mul => 0,
+            OpClass::AddSub => 1,
+            OpClass::Shift => 2,
+            OpClass::Div => 3,
+            OpClass::Sqrt => 4,
+            OpClass::InnerProduct => 5,
+            OpClass::Other => 6,
+        }
+    }
+}
+
+/// Accumulated device statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceStats {
+    /// Total device cycles.
+    pub cycles: u64,
+    /// Cycles per operation class.
+    pub cycles_by_class: [u64; 7],
+    /// Operation count per class.
+    pub ops_by_class: [u64; 7],
+    /// Bytes exchanged with the LLC.
+    pub llc_bytes: u64,
+    /// bops accounting from the functional units (when the bit-level path
+    /// ran) or from the analytic model.
+    pub bops: BopsTally,
+}
+
+impl DeviceStats {
+    /// Records an operation.
+    pub fn record(&mut self, class: OpClass, cycles: u64, llc_bytes: u64) {
+        self.cycles += cycles;
+        self.cycles_by_class[class.index()] += cycles;
+        self.ops_by_class[class.index()] += 1;
+        self.llc_bytes += llc_bytes;
+    }
+
+    /// Cycles attributed to one class.
+    pub fn cycles_for(&self, class: OpClass) -> u64 {
+        self.cycles_by_class[class.index()]
+    }
+
+    /// Operation count for one class.
+    pub fn ops_for(&self, class: OpClass) -> u64 {
+        self.ops_by_class[class.index()]
+    }
+
+    /// Wall-clock seconds at the configured clock.
+    pub fn seconds(&self, config: &ArchConfig) -> f64 {
+        self.cycles as f64 * config.cycle_seconds()
+    }
+
+    /// Energy in joules: busy time at device power, plus LLC traffic at a
+    /// fixed per-byte cost (the paper includes LLC energy in the device
+    /// figure, §VI-A).
+    pub fn energy_joules(&self, config: &ArchConfig) -> f64 {
+        const LLC_PJ_PER_BYTE: f64 = 15.0; // typical 16 nm LLC access cost
+        self.seconds(config) * config.power_w + self.llc_bytes as f64 * LLC_PJ_PER_BYTE * 1e-12
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.cycles += other.cycles;
+        for i in 0..7 {
+            self.cycles_by_class[i] += other.cycles_by_class[i];
+            self.ops_by_class[i] += other.ops_by_class[i];
+        }
+        self.llc_bytes += other.llc_bytes;
+        self.bops.merge(&other.bops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = DeviceStats::default();
+        s.record(OpClass::Mul, 100, 64);
+        s.record(OpClass::Mul, 50, 0);
+        s.record(OpClass::AddSub, 10, 8);
+        assert_eq!(s.cycles, 160);
+        assert_eq!(s.cycles_for(OpClass::Mul), 150);
+        assert_eq!(s.ops_for(OpClass::Mul), 2);
+        assert_eq!(s.ops_for(OpClass::AddSub), 1);
+        assert_eq!(s.llc_bytes, 72);
+    }
+
+    #[test]
+    fn time_and_energy_at_paper_clock() {
+        let cfg = ArchConfig::default();
+        let mut s = DeviceStats::default();
+        s.record(OpClass::Mul, 2_000_000_000, 0); // 1 second at 2 GHz
+        assert!((s.seconds(&cfg) - 1.0).abs() < 1e-12);
+        // 1 s × 3.644 W = 3.644 J
+        assert!((s.energy_joules(&cfg) - 3.644).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = DeviceStats::default();
+        a.record(OpClass::Div, 5, 1);
+        let mut b = DeviceStats::default();
+        b.record(OpClass::Div, 7, 2);
+        b.record(OpClass::Shift, 1, 0);
+        a.merge(&b);
+        assert_eq!(a.cycles, 13);
+        assert_eq!(a.cycles_for(OpClass::Div), 12);
+        assert_eq!(a.ops_for(OpClass::Shift), 1);
+        assert_eq!(a.llc_bytes, 3);
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        for c in OpClass::ALL {
+            assert!(!c.name().is_empty());
+        }
+    }
+}

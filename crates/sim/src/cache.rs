@@ -1,0 +1,308 @@
+//! Multi-level cache hierarchy with per-level traffic accounting
+//! (Figure 3(a): an AMD Zen3-like RF/L1/L2/L3/DRAM stack with capacities
+//! and bandwidths labelled).
+
+use crate::lru::Lru;
+
+/// Static description of one level of the hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSpec {
+    /// Display name ("L1", "RF", …).
+    pub name: &'static str,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bandwidth *into the level above* in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Transfer granularity in bytes.
+    pub line_bytes: u64,
+}
+
+/// A simulated inclusive hierarchy: an access that misses level i falls
+/// through to level i+1; the last level (DRAM) always hits.
+#[derive(Debug)]
+pub struct Hierarchy {
+    specs: Vec<LevelSpec>,
+    caches: Vec<Lru>,
+    /// Bytes transferred from level i+1 into level i (index i).
+    traffic_bytes: Vec<u64>,
+    accesses: u64,
+}
+
+/// One memory reference of a mixed read/write trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte address.
+    pub addr: u64,
+    /// Whether this is a store (installed without fetching).
+    pub write: bool,
+}
+
+impl Access {
+    /// A read reference.
+    pub fn read(addr: u64) -> Access {
+        Access { addr, write: false }
+    }
+
+    /// A write reference.
+    pub fn write(addr: u64) -> Access {
+        Access { addr, write: true }
+    }
+}
+
+/// Per-level outcome of a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelReport {
+    /// Level name.
+    pub name: &'static str,
+    /// Bytes that crossed into this level from below.
+    pub traffic_bytes: u64,
+    /// This level's bandwidth (GB/s).
+    pub bandwidth_gbs: f64,
+    /// Time this level alone would need for its traffic (seconds).
+    pub transfer_seconds: f64,
+    /// Bandwidth utilization against the run's critical time, in [0, 1].
+    pub utilization: f64,
+}
+
+/// Whole-run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// One entry per hierarchy level, nearest first.
+    pub levels: Vec<LevelReport>,
+    /// Total simulated accesses.
+    pub accesses: u64,
+    /// The run's critical time: max over levels (and the compute time, if
+    /// provided).
+    pub critical_seconds: f64,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from nearest (register file) to farthest (DRAM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn new(specs: Vec<LevelSpec>) -> Hierarchy {
+        assert!(!specs.is_empty(), "hierarchy needs at least one level");
+        let caches = specs
+            .iter()
+            .take(specs.len() - 1) // last level (DRAM) always hits
+            .map(|s| Lru::new((s.capacity_bytes / s.line_bytes).max(1) as usize))
+            .collect();
+        let traffic = vec![0; specs.len()];
+        Hierarchy {
+            caches,
+            traffic_bytes: traffic,
+            accesses: 0,
+            specs,
+        }
+    }
+
+    /// The Zen3-like stack of Figure 3(a): 256 B register file, 32 KB L1
+    /// at 1 TB/s, 512 KB L2 at 512 GB/s, 32 MB L3 at 256 GB/s, DRAM at
+    /// 50 GB/s.
+    pub fn zen3_like() -> Hierarchy {
+        Hierarchy::new(vec![
+            LevelSpec {
+                name: "RF",
+                capacity_bytes: 256,
+                bandwidth_gbs: 3000.0,
+                line_bytes: 8,
+            },
+            LevelSpec {
+                name: "L1",
+                capacity_bytes: 32 * 1024,
+                bandwidth_gbs: 1000.0,
+                line_bytes: 64,
+            },
+            LevelSpec {
+                name: "L2",
+                capacity_bytes: 512 * 1024,
+                bandwidth_gbs: 512.0,
+                line_bytes: 64,
+            },
+            LevelSpec {
+                name: "L3",
+                capacity_bytes: 32 * 1024 * 1024,
+                bandwidth_gbs: 256.0,
+                line_bytes: 64,
+            },
+            LevelSpec {
+                name: "DRAM",
+                capacity_bytes: u64::MAX / 2,
+                bandwidth_gbs: 50.0,
+                line_bytes: 64,
+            },
+        ])
+    }
+
+    /// The level specifications.
+    pub fn specs(&self) -> &[LevelSpec] {
+        &self.specs
+    }
+
+    /// Simulates one read of byte address `addr`. Misses ripple outward;
+    /// each miss moves one line of traffic across the boundary where it
+    /// missed.
+    pub fn access(&mut self, addr: u64) {
+        self.accesses += 1;
+        // The access always moves data between the core and the nearest
+        // level.
+        self.traffic_bytes[0] += self.specs[0].line_bytes;
+        for (i, cache) in self.caches.iter_mut().enumerate() {
+            let line = addr / self.specs[i].line_bytes;
+            if cache.touch(line) {
+                return;
+            }
+            // Missed level i: a line crosses from level i+1 into level i.
+            self.traffic_bytes[i + 1] += self.specs[i + 1].line_bytes;
+        }
+    }
+
+    /// Simulates one write: the line is installed at every level without
+    /// fetching from below (idealized write-allocate-no-fetch — fresh
+    /// intermediates never cost DRAM fills; write-back traffic is folded
+    /// into the later read misses).
+    pub fn write(&mut self, addr: u64) {
+        self.accesses += 1;
+        self.traffic_bytes[0] += self.specs[0].line_bytes;
+        for (i, cache) in self.caches.iter_mut().enumerate() {
+            let line = addr / self.specs[i].line_bytes;
+            cache.touch(line);
+        }
+    }
+
+    /// Runs a whole read trace.
+    pub fn run<I: IntoIterator<Item = u64>>(&mut self, trace: I) {
+        for addr in trace {
+            self.access(addr);
+        }
+    }
+
+    /// Runs a mixed trace of [`Access`] records.
+    pub fn run_accesses<I: IntoIterator<Item = Access>>(&mut self, trace: I) {
+        for a in trace {
+            if a.write {
+                self.write(a.addr);
+            } else {
+                self.access(a.addr);
+            }
+        }
+    }
+
+    /// Produces the utilization report. `compute_seconds` is the pure
+    /// arithmetic time of the workload (0.0 for a pure-memory view): the
+    /// critical time is the max of it and every level's transfer time.
+    pub fn report(&self, compute_seconds: f64) -> SimReport {
+        let mut levels = Vec::with_capacity(self.specs.len());
+        let mut critical = compute_seconds;
+        for (spec, &bytes) in self.specs.iter().zip(&self.traffic_bytes) {
+            let t = bytes as f64 / (spec.bandwidth_gbs * 1e9);
+            critical = critical.max(t);
+            levels.push((spec, bytes, t));
+        }
+        let critical_seconds = critical.max(1e-30);
+        SimReport {
+            levels: levels
+                .into_iter()
+                .map(|(spec, bytes, t)| LevelReport {
+                    name: spec.name,
+                    traffic_bytes: bytes,
+                    bandwidth_gbs: spec.bandwidth_gbs,
+                    transfer_seconds: t,
+                    utilization: t / critical_seconds,
+                })
+                .collect(),
+            accesses: self.accesses,
+            critical_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        Hierarchy::new(vec![
+            LevelSpec {
+                name: "L1",
+                capacity_bytes: 128,
+                bandwidth_gbs: 100.0,
+                line_bytes: 8,
+            },
+            LevelSpec {
+                name: "DRAM",
+                capacity_bytes: u64::MAX / 2,
+                bandwidth_gbs: 10.0,
+                line_bytes: 8,
+            },
+        ])
+    }
+
+    #[test]
+    fn repeated_access_hits_after_first() {
+        let mut h = tiny();
+        for _ in 0..10 {
+            h.access(0);
+        }
+        let r = h.report(0.0);
+        assert_eq!(r.accesses, 10);
+        assert_eq!(r.levels[0].traffic_bytes, 80); // every access touches L1
+        assert_eq!(r.levels[1].traffic_bytes, 8); // one compulsory miss
+    }
+
+    #[test]
+    fn streaming_larger_than_cache_misses_every_line() {
+        let mut h = tiny();
+        // 64 distinct lines > 16-line capacity, twice.
+        for round in 0..2 {
+            for i in 0..64u64 {
+                h.access(i * 8);
+                let _ = round;
+            }
+        }
+        let r = h.report(0.0);
+        // With LRU and a cyclic pattern larger than capacity, every access
+        // misses (the classic LRU worst case).
+        assert_eq!(r.levels[1].traffic_bytes, 128 * 8);
+    }
+
+    #[test]
+    fn utilization_bottleneck_is_one() {
+        let mut h = tiny();
+        for i in 0..1000u64 {
+            h.access(i * 8);
+        }
+        let r = h.report(0.0);
+        let max_util = r
+            .levels
+            .iter()
+            .map(|l| l.utilization)
+            .fold(0.0f64, f64::max);
+        assert!((max_util - 1.0).abs() < 1e-9, "bottleneck saturates");
+        // DRAM is slower, so it must be the bottleneck here.
+        assert!((r.levels[1].utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_workload_underutilizes_memory() {
+        let mut h = tiny();
+        h.access(0);
+        let r = h.report(1.0); // one second of pure compute
+        assert!(r.levels[0].utilization < 1e-6);
+        assert!((r.critical_seconds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zen3_shape() {
+        let h = Hierarchy::zen3_like();
+        assert_eq!(h.specs().len(), 5);
+        assert_eq!(h.specs()[0].name, "RF");
+        assert_eq!(h.specs()[4].name, "DRAM");
+        // Bandwidth decreases monotonically outward.
+        for w in h.specs().windows(2) {
+            assert!(w[0].bandwidth_gbs > w[1].bandwidth_gbs);
+        }
+    }
+}

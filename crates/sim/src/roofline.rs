@@ -1,0 +1,165 @@
+//! Roofline model (Williams et al.) — Figures 3(c) and 12.
+//!
+//! Attainable performance = min(peak, bandwidth × operational intensity).
+//! The paper's twist: as an APC multiplication is decomposed toward the
+//! near-end hierarchy, its operational intensity *drops* (the
+//! decomposability-factor effect), so the attained point slides left and
+//! eventually pins at the register-file bandwidth.
+
+/// Attainable performance (op/s) for a given peak, bandwidth and
+/// operational intensity.
+///
+/// ```
+/// use apc_sim::roofline::attained_gflops;
+/// // Memory bound: 10 GB/s × 0.5 op/B = 5 Gop/s.
+/// assert_eq!(attained_gflops(100.0, 10.0, 0.5), 5.0);
+/// // Compute bound.
+/// assert_eq!(attained_gflops(100.0, 10.0, 50.0), 100.0);
+/// ```
+pub fn attained_gflops(peak_gops: f64, bandwidth_gbs: f64, oi_ops_per_byte: f64) -> f64 {
+    peak_gops.min(bandwidth_gbs * oi_ops_per_byte)
+}
+
+/// One roofline curve: a memory ceiling and a compute ceiling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineSeries {
+    /// Label ("L1", "RF", "Cambricon-P LLC", …).
+    pub name: String,
+    /// Bandwidth of the ceiling in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Peak performance in Gop/s.
+    pub peak_gops: f64,
+}
+
+impl RooflineSeries {
+    /// A new series.
+    pub fn new(name: impl Into<String>, bandwidth_gbs: f64, peak_gops: f64) -> Self {
+        RooflineSeries {
+            name: name.into(),
+            bandwidth_gbs,
+            peak_gops,
+        }
+    }
+
+    /// Attainable performance at a given operational intensity.
+    pub fn attained(&self, oi: f64) -> f64 {
+        attained_gflops(self.peak_gops, self.bandwidth_gbs, oi)
+    }
+
+    /// The ridge point: the OI at which the series turns compute bound.
+    pub fn ridge_oi(&self) -> f64 {
+        self.peak_gops / self.bandwidth_gbs
+    }
+
+    /// Samples the curve at logarithmically spaced OIs in
+    /// `[oi_min, oi_max]`.
+    pub fn sample(&self, oi_min: f64, oi_max: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two sample points");
+        let (lo, hi) = (oi_min.ln(), oi_max.ln());
+        (0..points)
+            .map(|i| {
+                let oi = (lo + (hi - lo) * i as f64 / (points - 1) as f64).exp();
+                (oi, self.attained(oi))
+            })
+            .collect()
+    }
+}
+
+/// Operational intensity of an APC multiplication decomposed down to
+/// `limb_bits` functional units, counting the *intermediate traffic* of
+/// the recursive decomposition (the decomposability-factor effect of
+/// §II-C).
+///
+/// The schoolbook recursion touches ~20m bits per m-bit node (Figure 4);
+/// with 4^k nodes of size n/2^k per level, total traffic is
+/// Σₖ 20n·2^k ≈ 40n²/L bits, while the useful work is (n/L)² L-bit MACs —
+/// so OI ≈ 1/(5L) MACs/byte, and in 64-bit-equivalent terms it *grows
+/// linearly with L*: coarser limbs do more work per byte moved.
+///
+/// Returns ops/byte with "op" = one `limb_bits`-wide MAC.
+pub fn apc_mul_operational_intensity(n_bits: u64, limb_bits: u64) -> f64 {
+    let limbs = n_bits.div_ceil(limb_bits).max(1) as f64;
+    let macs = limbs * limbs;
+    // Figure-4 style traffic accounting across all decomposition levels:
+    // Σ_{k=0}^{log2(n/L)} 4^k · 20·(n/2^k) bits = 20n·(2·n/L − 1) bits.
+    let levels_factor = (2.0 * limbs - 1.0).max(1.0);
+    let bytes_moved = 20.0 * n_bits as f64 * levels_factor / 8.0;
+    macs / bytes_moved
+}
+
+/// Normalized operational intensity in 64-bit-equivalent ops per byte
+/// (used to place CPU and Cambricon-P on the same axis in Figure 12): a
+/// MAC of `limb_bits` counts as `(limb_bits/64)²` 64-bit multiplies.
+pub fn apc_mul_oi_64bit_equiv(n_bits: u64, limb_bits: u64) -> f64 {
+    let scale = (limb_bits as f64 / 64.0).powi(2);
+    apc_mul_operational_intensity(n_bits, limb_bits) * scale
+}
+
+/// Operational intensity of a *monolithic* multiplication (Cambricon-P's
+/// mode): no decomposition intermediates, so traffic is just the operands
+/// in and the product out (4n bits total), while the work is the full
+/// (n/L)² limb-MAC convolution. In 64-bit-equivalent ops/byte.
+///
+/// ```
+/// use apc_sim::roofline::{apc_mul_oi_64bit_equiv, apc_mul_oi_monolithic};
+/// let n = 35_904;
+/// // Monolithic OI dwarfs the decomposed OI — Figure 12's key contrast.
+/// assert!(apc_mul_oi_monolithic(n, 32) > 100.0 * apc_mul_oi_64bit_equiv(n, 64));
+/// ```
+pub fn apc_mul_oi_monolithic(n_bits: u64, limb_bits: u64) -> f64 {
+    let limbs = n_bits.div_ceil(limb_bits).max(1) as f64;
+    let macs_64eq = limbs * limbs * (limb_bits as f64 / 64.0).powi(2);
+    let bytes_moved = (4 * n_bits / 8) as f64;
+    macs_64eq / bytes_moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_point() {
+        let s = RooflineSeries::new("L1", 100.0, 1000.0);
+        assert_eq!(s.ridge_oi(), 10.0);
+        assert!((s.attained(10.0) - 1000.0).abs() < 1e-9);
+        assert!(s.attained(1.0) < 1000.0);
+    }
+
+    #[test]
+    fn sampling_is_monotone_nondecreasing() {
+        let s = RooflineSeries::new("x", 50.0, 500.0);
+        let pts = s.sample(0.01, 100.0, 40);
+        assert_eq!(pts.len(), 40);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn decomposition_lowers_64bit_equivalent_oi() {
+        // The paper's §II-C: finer granularity → lower effective OI →
+        // memory bound at the RF. In 64-bit-equivalent terms a 32-bit-limb
+        // decomposition has 32× less OI than a 1024-bit one.
+        let fine = apc_mul_oi_64bit_equiv(1 << 20, 32);
+        let coarse = apc_mul_oi_64bit_equiv(1 << 20, 1024);
+        assert!(coarse / fine > 10.0, "coarse {coarse} vs fine {fine}");
+    }
+
+    #[test]
+    fn figure12_shape_device_beats_cpu() {
+        // CPU: 64-bit units at RF bandwidth; Cambricon-P: 32-bit limbs but
+        // massive parallelism at LLC bandwidth with monolithic granularity.
+        let n = 35_904;
+        let cpu = RooflineSeries::new("CPU RF", 3000.0, 11.1); // Gop/s INT64
+        // Device peak in 64-bit-equivalent Gops: 1024 32-bit MACs/cycle ×
+        // 2 GHz / 4.
+        let dev = RooflineSeries::new("Cambricon-P LLC", 256.0, 512.0);
+        let cpu_attained = cpu.attained(apc_mul_oi_64bit_equiv(n, 64));
+        let dev_attained = dev.attained(apc_mul_oi_monolithic(n, 32));
+        assert!(
+            dev_attained > 10.0 * cpu_attained,
+            "device {dev_attained} vs cpu {cpu_attained}"
+        );
+    }
+}

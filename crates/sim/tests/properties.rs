@@ -1,0 +1,97 @@
+//! Property-based tests for the memory-hierarchy simulator: the O(1) LRU
+//! must behave exactly like a naive reference implementation, and the
+//! hierarchy's accounting must obey conservation laws.
+
+use apc_sim::cache::{Hierarchy, LevelSpec};
+use apc_sim::lru::Lru;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A naive O(n) LRU used as the oracle.
+struct NaiveLru {
+    capacity: usize,
+    order: VecDeque<u64>, // front = MRU
+}
+
+impl NaiveLru {
+    fn new(capacity: usize) -> Self {
+        NaiveLru {
+            capacity,
+            order: VecDeque::new(),
+        }
+    }
+
+    fn touch(&mut self, key: u64) -> bool {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push_front(key);
+            true
+        } else {
+            if self.order.len() >= self.capacity {
+                self.order.pop_back();
+            }
+            self.order.push_front(key);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_matches_naive_reference(
+        capacity in 1usize..=16,
+        accesses in prop::collection::vec(0u64..32, 0..200),
+    ) {
+        let mut fast = Lru::new(capacity);
+        let mut slow = NaiveLru::new(capacity);
+        for (i, &a) in accesses.iter().enumerate() {
+            let h1 = fast.touch(a);
+            let h2 = slow.touch(a);
+            prop_assert_eq!(h1, h2, "divergence at access {} (key {})", i, a);
+            prop_assert!(fast.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn hierarchy_traffic_is_monotone_outward(
+        accesses in prop::collection::vec(0u64..100_000, 1..300),
+    ) {
+        // Reads only: traffic can never increase moving outward (a far
+        // level only sees what the nearer level missed).
+        let mut h = Hierarchy::new(vec![
+            LevelSpec { name: "L1", capacity_bytes: 512, bandwidth_gbs: 100.0, line_bytes: 8 },
+            LevelSpec { name: "L2", capacity_bytes: 4096, bandwidth_gbs: 50.0, line_bytes: 8 },
+            LevelSpec { name: "DRAM", capacity_bytes: u64::MAX / 2, bandwidth_gbs: 10.0, line_bytes: 8 },
+        ]);
+        for &a in &accesses {
+            h.access(a);
+        }
+        let r = h.report(0.0);
+        prop_assert!(r.levels[0].traffic_bytes >= r.levels[1].traffic_bytes);
+        prop_assert!(r.levels[1].traffic_bytes >= r.levels[2].traffic_bytes);
+        prop_assert_eq!(r.accesses, accesses.len() as u64);
+        // Exactly one level saturates (the critical one), when any traffic
+        // moved at all.
+        let max_util = r.levels.iter().map(|l| l.utilization).fold(0.0f64, f64::max);
+        prop_assert!((max_util - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_working_set_hits_after_warmup(
+        lines in prop::collection::vec(0u64..32, 1..32),
+    ) {
+        // Distinct lines fitting in capacity: second pass must be all hits.
+        let mut distinct: Vec<u64> = lines.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut cache = Lru::new(distinct.len().max(1));
+        for &l in &distinct {
+            cache.touch(l);
+        }
+        for &l in &distinct {
+            prop_assert!(cache.touch(l), "line {} evicted from a big-enough cache", l);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Mandelbrot rendering with perturbation theory: the high-precision
+//! reference orbit runs on the Cambricon-P session, pixels iterate f64
+//! deltas, and the result prints as ASCII art (the Figure 13 "Frac"
+//! experiment in miniature).
+//!
+//! ```sh
+//! cargo run --release --example mandelbrot_zoom -- 1024
+//! ```
+
+use cambricon_p_repro::apc_apps::backend::Session;
+use cambricon_p_repro::apc_apps::frac::render_perturbation;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+fn main() {
+    let precision: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+
+    let (width, height, max_iter) = (72, 28, 160);
+    let session = Session::cambricon_p();
+    let img = render_perturbation(
+        -0.65,
+        0.0,
+        1.2,
+        width,
+        height,
+        max_iter,
+        precision,
+        &session,
+    );
+
+    for y in 0..height {
+        let mut line = String::with_capacity(width);
+        for x in 0..width {
+            let it = img.iterations[y * width + x];
+            let ch = if it >= max_iter {
+                b'@'
+            } else {
+                SHADES[(it as usize * (SHADES.len() - 1) / max_iter as usize).min(SHADES.len() - 2)]
+            };
+            line.push(ch as char);
+        }
+        println!("{line}");
+    }
+
+    let r = session.report();
+    println!();
+    println!(
+        "reference orbit at {precision} bits on Cambricon-P: {:.3} µs of device time",
+        r.device_seconds * 1e6
+    );
+    println!(
+        "({} kernel multiplications issued to the device)",
+        r.by_class
+            .iter()
+            .find(|(n, _, _)| *n == "Multiply")
+            .map(|(_, ops, _)| *ops)
+            .unwrap_or(0)
+    );
+}

@@ -1,0 +1,48 @@
+//! Compute digits of π with the Chudnovsky algorithm on both backends and
+//! compare the modeled times (the Figure 13 "Pi" experiment in miniature).
+//!
+//! ```sh
+//! cargo run --release --example pi_digits -- 10000
+//! ```
+
+use cambricon_p_repro::apc_apps::backend::Session;
+use cambricon_p_repro::apc_apps::pi::chudnovsky_pi;
+
+fn main() {
+    let digits: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000);
+
+    let software = Session::software();
+    let pi = chudnovsky_pi(digits, &software);
+    let sw = software.report();
+
+    let device = Session::cambricon_p();
+    let pi_dev = chudnovsky_pi(digits, &device);
+    let hw = device.report();
+    assert_eq!(pi, pi_dev, "both backends agree digit-for-digit");
+
+    let shown = pi.len().min(80);
+    println!("π to {digits} digits (first {shown} chars):");
+    println!("{}", &pi[..shown]);
+    if pi.len() > shown {
+        println!("… [{} more digits]", pi.len() - shown);
+    }
+    println!();
+    println!(
+        "modeled Xeon+GMP time : {:.3} ms ({:.2e} J)",
+        sw.modeled_cpu_seconds * 1e3,
+        sw.energy_joules
+    );
+    println!(
+        "Cambricon-P time      : {:.3} ms ({:.2e} J)",
+        hw.device_seconds * 1e3,
+        hw.energy_joules
+    );
+    println!(
+        "speedup {:.1}x, energy benefit {:.1}x  (paper Pi average: 11.22x / in-line energy)",
+        sw.modeled_cpu_seconds / hw.device_seconds,
+        sw.energy_joules / hw.energy_joules
+    );
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the Cambricon-P reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the individual crates for documentation:
+//!
+//! - [`apc_bignum`] — arbitrary-precision natural/integer/float arithmetic
+//!   (the GMP-equivalent software substrate).
+//! - [`cambricon_p`] — the bitflow architecture model and the MPApca runtime.
+//! - [`apc_sim`] — cache-hierarchy and roofline simulation.
+//! - [`apc_baselines`] — CPU/GPU/accelerator cost models.
+//! - [`apc_apps`] — the four APC applications (Pi, Frac, zkcm, RSA).
+
+pub use apc_apps;
+pub use apc_baselines;
+pub use apc_bignum;
+pub use apc_sim;
+pub use cambricon_p;

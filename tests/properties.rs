@@ -1,0 +1,67 @@
+//! Cross-crate property-based tests: the device model must agree with the
+//! software substrate on arbitrary inputs, and the substrate must satisfy
+//! the algebraic laws of ℕ.
+
+use cambricon_p_repro::apc_bignum::Nat;
+use cambricon_p_repro::cambricon_p::accelerator::Accelerator;
+use cambricon_p_repro::cambricon_p::gu::{gather_carry_parallel, gather_reference};
+use cambricon_p_repro::cambricon_p::Device;
+use proptest::prelude::*;
+
+fn arb_nat(max_limbs: usize) -> impl Strategy<Value = Nat> {
+    prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(Nat::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn device_mul_matches_oracle(a in arb_nat(40), b in arb_nat(40)) {
+        let dev = Device::new_default();
+        prop_assert_eq!(dev.mul(&a, &b), &a * &b);
+    }
+
+    #[test]
+    fn device_divrem_is_euclidean(a in arb_nat(30), b in arb_nat(12)) {
+        prop_assume!(!b.is_zero());
+        let dev = Device::new_default();
+        let (q, r) = dev.divrem(&a, &b);
+        prop_assert!(&r < &b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn device_sqrt_is_floor_sqrt(a in arb_nat(20)) {
+        let dev = Device::new_default();
+        let (s, r) = dev.sqrt_rem(&a);
+        prop_assert_eq!(&(&s * &s) + &r, a.clone());
+        let next = &s + &Nat::one();
+        prop_assert!(&next * &next > a);
+    }
+
+    #[test]
+    fn gather_unit_is_exact(parts in prop::collection::vec(any::<u64>(), 0..20)) {
+        let nats: Vec<Nat> = parts.iter().map(|&v| Nat::from(v)).collect();
+        let g = gather_carry_parallel(&nats, 32);
+        prop_assert_eq!(g.value, gather_reference(&nats, 32));
+    }
+
+    #[test]
+    fn mul_cycles_monotone(bits in 64u64..2_000_000) {
+        let dev = Device::new_default();
+        let c1 = dev.mul_cycles(bits, bits);
+        let c2 = dev.mul_cycles(bits * 2, bits * 2);
+        prop_assert!(c2 >= c1);
+    }
+}
+
+proptest! {
+    // The structural model is expensive per case; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn structural_accelerator_matches_oracle(a in arb_nat(8), b in arb_nat(8)) {
+        let acc = Accelerator::new_default();
+        prop_assert_eq!(acc.multiply(&a, &b).product, &a * &b);
+    }
+}
