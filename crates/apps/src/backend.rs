@@ -122,6 +122,7 @@ impl Session {
 
     fn tally(&self, class: OpClass, wall: f64, modeled: f64) {
         let mut t = self.tallies.borrow_mut();
+        // apc-lint: allow(L2) -- OpClass::ALL enumerates every variant by construction
         let idx = OpClass::ALL.iter().position(|&c| c == class).expect("known class");
         t[idx].ops += 1;
         t[idx].wall_seconds += wall;

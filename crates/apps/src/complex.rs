@@ -47,7 +47,7 @@ impl FixedCtx {
         let scaled = (v * (1u128 << 64.min(self.scale)) as f64) as i128;
         let base = Int::from_sign_magnitude(
             scaled < 0,
-            Nat::from(scaled.unsigned_abs() as u128),
+            Nat::from(scaled.unsigned_abs()),
         );
         if self.scale > 64 {
             base.shl_bits(self.scale - 64)
@@ -95,7 +95,7 @@ impl FixedCtx {
         if len == 0 {
             return 0.0;
         }
-        let top = mag.shr_bits(len - take).to_u64().expect("53 bits") as f64;
+        let top = mag.shr_bits(len - take).to_u64().map_or(0.0, |t| t as f64);
         let e = (len - take) as i64 - self.scale as i64;
         let val = top * 2f64.powi(e.clamp(-1060, 1060) as i32);
         if v.is_negative() {

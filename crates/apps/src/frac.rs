@@ -81,7 +81,9 @@ pub fn render_perturbation_str(
 ) -> FracImage {
     let ctx = FixedCtx::new(precision_bits);
     let c = FixedComplex {
+        // apc-lint: allow(L2) -- caller-facing precondition documented on render_tile
         re: ctx.from_decimal_str(center_re).expect("valid real coordinate"),
+        // apc-lint: allow(L2) -- caller-facing precondition documented on render_tile
         im: ctx.from_decimal_str(center_im).expect("valid imaginary coordinate"),
     };
     let orbit = reference_orbit(&ctx, session, &c, max_iter);

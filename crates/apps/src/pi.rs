@@ -59,7 +59,7 @@ pub fn chudnovsky_pi_opts(digits: u64, session: &Session, factorize: bool) -> St
     let scaled_digits = digits + guard;
     // sqrt(10005) · 10^scaled  =  sqrt(10005 · 10^(2·scaled))
     let ten = Nat::from(10u64);
-    let scale = ten.pow(u32::try_from(scaled_digits).expect("digit count fits u32"));
+    let scale = ten.pow(u32::try_from(scaled_digits).unwrap_or(u32::MAX));
     let radicand = session.mul(&Nat::from(10_005u64), &session.mul(&scale, &scale));
     let (sqrt_10005, _) = session.sqrt_rem(&radicand);
 

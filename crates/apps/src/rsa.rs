@@ -87,6 +87,7 @@ pub fn decrypt_crt(key: &RsaKey, cipher: &Nat, session: &Session) -> Nat {
     let qinv = key
         .q
         .mod_inverse(&key.p)
+        // apc-lint: allow(L2) -- KeyPair generation guarantees p != q are prime
         .expect("p, q are distinct primes");
     let diff = if mp >= mq {
         session.sub(&mp, &mq)

@@ -268,7 +268,7 @@ impl Float {
         let len = self.mantissa.bit_len();
         let take = len.min(53);
         let top = self.mantissa.shr_bits(len - take);
-        let mut v = top.to_u64().expect("53 bits fit") as f64;
+        let mut v = top.to_u64().map_or(0.0, |t| t as f64);
         let e = self.exponent + (len - take) as i64;
         v *= 2f64.powi(e.clamp(-2000, 2000) as i32);
         if self.negative {

@@ -1,0 +1,86 @@
+//! Bit-exactness invariant layer — runtime checks of the representation
+//! contracts the rest of the workspace (and the apc-lint pass) relies on.
+//!
+//! Checks are compiled in under `debug_assertions` **or** the `paranoid`
+//! cargo feature, so release binaries can opt into full checking:
+//!
+//! ```text
+//! cargo test -p apc-bignum --release --features paranoid
+//! ```
+//!
+//! In a plain release build every function here is a no-op the optimizer
+//! removes entirely.
+
+use crate::limb::Limb;
+
+/// Whether invariant checks are compiled into this build (debug, or the
+/// `paranoid` feature).
+#[inline]
+#[must_use]
+pub const fn enabled() -> bool {
+    cfg!(any(debug_assertions, feature = "paranoid"))
+}
+
+/// Asserts that a little-endian limb slice is normalized: no trailing
+/// zero limb. Every [`crate::Nat`] must hold this at API boundaries —
+/// comparisons, `bit_len`, and the mul/div kernel dispatch all assume it.
+#[inline]
+pub fn check_normalized(limbs: &[Limb]) {
+    if enabled() {
+        assert!(
+            limbs.last() != Some(&0),
+            "Nat invariant violated: trailing zero limb in {}-limb value",
+            limbs.len()
+        );
+    }
+}
+
+/// Asserts that `chunks` is a valid chunk decomposition for `width`-bit
+/// chunks: every chunk fits in `width` bits. `Nat::from_chunks` /
+/// `to_chunks` round-trips rely on this.
+#[inline]
+pub fn check_chunk_widths(chunks: &[crate::Nat], width: u64) {
+    if enabled() {
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(
+                c.bit_len() <= width,
+                "chunk {i} has {} bits, exceeding the {width}-bit chunk width",
+                c.bit_len()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_slices_pass() {
+        check_normalized(&[]);
+        check_normalized(&[1]);
+        check_normalized(&[0, 0, 7]);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "paranoid"))]
+    #[should_panic(expected = "trailing zero limb")]
+    fn trailing_zero_is_caught() {
+        // Debug builds (which is how tests run) always have checks on.
+        check_normalized(&[5, 0]);
+    }
+
+    #[test]
+    fn chunk_widths_pass_and_fail() {
+        let chunks = vec![crate::Nat::from(0xFFu64)];
+        check_chunk_widths(&chunks, 8);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "paranoid"))]
+    #[should_panic(expected = "exceeding")]
+    fn oversized_chunk_is_caught() {
+        let chunks = vec![crate::Nat::from(0x100u64)];
+        check_chunk_widths(&chunks, 8);
+    }
+}

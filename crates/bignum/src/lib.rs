@@ -33,6 +33,7 @@ pub mod elementary;
 pub mod error;
 pub mod float;
 pub mod int;
+pub mod invariants;
 pub mod limb;
 pub mod nat;
 

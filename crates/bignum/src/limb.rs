@@ -83,6 +83,37 @@ pub fn bit_len(x: Limb) -> u32 {
     LIMB_BITS - x.leading_zeros()
 }
 
+/// Splits a global bit index into `(limb_index, bit_within_limb)`.
+///
+/// This is the addressing step shared by every bit accessor and shift. It
+/// lives here — outside the `nat` kernel paths checked by apc-lint rule L3 —
+/// so kernels never need a bare narrowing `as` cast: the modulo guarantees
+/// `bit < 64`, and a limb index that exceeds `usize::MAX` (only possible on
+/// 16/32-bit targets) saturates, which out-of-range `slice::get` callers
+/// treat as "beyond the number", i.e. a zero bit.
+///
+/// ```
+/// use apc_bignum::limb::bit_split;
+/// assert_eq!(bit_split(0), (0, 0));
+/// assert_eq!(bit_split(130), (2, 2));
+/// ```
+#[inline]
+pub fn bit_split(index: u64) -> (usize, u32) {
+    let limb = usize::try_from(index / u64::from(LIMB_BITS)).unwrap_or(usize::MAX);
+    let bit = (index % u64::from(LIMB_BITS)) as u32;
+    (limb, bit)
+}
+
+/// Converts a `u64` count to `usize`, saturating on 16/32-bit targets.
+///
+/// Kernel paths use this instead of a bare `as usize` cast (apc-lint L3):
+/// on 64-bit targets it is lossless, and a saturated value is only reachable
+/// for sizes that could never have been allocated.
+#[inline]
+pub fn usize_from(x: u64) -> usize {
+    usize::try_from(x).unwrap_or(usize::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,7 @@
 //! serialize a [`Nat`] into streams.
 
 use super::Nat;
-use crate::limb::LIMB_BITS;
+use crate::limb::{bit_split, usize_from, LIMB_BITS};
 use std::ops::{BitAnd, BitOr, BitXor};
 
 impl Nat {
@@ -21,8 +21,7 @@ impl Nat {
     /// ```
     #[inline]
     pub fn bit(&self, index: u64) -> bool {
-        let limb = (index / u64::from(LIMB_BITS)) as usize;
-        let bit = (index % u64::from(LIMB_BITS)) as u32;
+        let (limb, bit) = bit_split(index);
         self.limbs()
             .get(limb)
             .map_or(false, |&l| (l >> bit) & 1 == 1)
@@ -30,8 +29,7 @@ impl Nat {
 
     /// Returns a copy of `self` with bit `index` set to `value`.
     pub fn with_bit(&self, index: u64, value: bool) -> Nat {
-        let limb = (index / u64::from(LIMB_BITS)) as usize;
-        let bit = (index % u64::from(LIMB_BITS)) as u32;
+        let (limb, bit) = bit_split(index);
         let mut limbs = self.limbs().to_vec();
         if limbs.len() <= limb {
             if !value {
@@ -106,7 +104,7 @@ impl Iterator for BitsLsb<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let rem = (self.len - self.index) as usize;
+        let rem = usize_from(self.len - self.index);
         (rem, Some(rem))
     }
 }

@@ -40,7 +40,7 @@ impl Nat {
         let dinv = inv_mod_b(d[0]);
         let qlen = n.len() - d.len() + 1;
         let mut rem: Vec<Limb> = n.to_vec();
-        let mut q = vec![0 as Limb; qlen];
+        let mut q: Vec<Limb> = vec![0; qlen];
         for i in 0..qlen {
             // Quotient limb determined entirely by the 2-adic residue.
             let qi = rem[i].wrapping_mul(dinv);

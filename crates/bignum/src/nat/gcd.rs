@@ -26,8 +26,9 @@ impl Nat {
         if b.is_zero() {
             return a;
         }
-        let za = a.trailing_zeros().expect("a nonzero");
-        let zb = b.trailing_zeros().expect("b nonzero");
+        // Both nonzero here (early returns above), so trailing_zeros is Some.
+        let za = a.trailing_zeros().unwrap_or(0);
+        let zb = b.trailing_zeros().unwrap_or(0);
         let common = za.min(zb);
         a = a.shr_bits(za);
         b = b.shr_bits(zb);
@@ -40,7 +41,7 @@ impl Nat {
             if b.is_zero() {
                 return a.shl_bits(common);
             }
-            b = b.shr_bits(b.trailing_zeros().expect("b nonzero"));
+            b = b.shr_bits(b.trailing_zeros().unwrap_or(0));
         }
     }
 

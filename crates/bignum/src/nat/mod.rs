@@ -86,8 +86,7 @@ impl Nat {
     /// assert_eq!(Nat::power_of_two(70).bit_len(), 71);
     /// ```
     pub fn power_of_two(exp: u64) -> Self {
-        let limb_index = (exp / u64::from(LIMB_BITS)) as usize;
-        let bit_index = (exp % u64::from(LIMB_BITS)) as u32;
+        let (limb_index, bit_index) = crate::limb::bit_split(exp);
         let mut limbs = vec![0; limb_index + 1];
         limbs[limb_index] = 1 << bit_index;
         Nat { limbs }
@@ -96,6 +95,7 @@ impl Nat {
     /// The normalized little-endian limb slice (empty for zero).
     #[inline]
     pub fn limbs(&self) -> &[Limb] {
+        crate::invariants::check_normalized(&self.limbs);
         &self.limbs
     }
 

@@ -145,7 +145,7 @@ impl MontgomeryCtx {
     fn redc(&self, t: &[Limb]) -> Nat {
         let n = self.limbs;
         let ml = self.modulus.limbs();
-        let mut buf = vec![0 as Limb; 2 * n + 1];
+        let mut buf: Vec<Limb> = vec![0; 2 * n + 1];
         buf[..t.len()].copy_from_slice(t);
         for i in 0..n {
             let m = buf[i].wrapping_mul(self.n0_inv);

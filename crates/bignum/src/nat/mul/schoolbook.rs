@@ -12,7 +12,7 @@ pub fn mul(a: &Nat, b: &Nat) -> Nat {
     }
     let al = a.limbs();
     let bl = b.limbs();
-    let mut out = vec![0 as Limb; al.len() + bl.len()];
+    let mut out: Vec<Limb> = vec![0; al.len() + bl.len()];
     for (i, &bi) in bl.iter().enumerate() {
         if bi == 0 {
             continue;

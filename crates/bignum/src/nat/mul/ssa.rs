@@ -256,7 +256,7 @@ fn bit_reverse_permute(v: &mut [Nat]) {
     let bits = k.trailing_zeros();
     for i in 0..k {
         let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
-        let j = j as usize;
+        let j = crate::limb::usize_from(j);
         if i < j {
             v.swap(i, j);
         }

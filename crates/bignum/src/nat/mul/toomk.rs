@@ -46,6 +46,7 @@ pub fn mul(a: &Nat, b: &Nat, k: usize, algorithm: MulAlgorithm, th: &Thresholds)
             let scale = r.num * (d / r.den);
             ci += &products[j].mul_i128(scale);
         }
+        // apc-lint: allow(L2) -- lcm of Toom denominators for k <= 8 fits in u64
         let ci = ci.div_exact_u64(u64::try_from(d).expect("interpolation lcm fits in u64"));
         acc += &ci.shl_bits(part_bits * i as u64);
     }
@@ -88,10 +89,12 @@ fn split(x: &Nat, part_bits: u64, k: usize) -> Vec<Nat> {
 
 fn evaluate(parts: &[Nat], pt: Point) -> Int {
     match pt {
+        // apc-lint: allow(L2) -- split() always returns k >= 1 parts
         Point::Infinity => Int::from_nat(parts.last().expect("k >= 1 parts").clone()),
         Point::Finite(0) => Int::from_nat(parts[0].clone()),
         Point::Finite(a) => {
             // Horner evaluation from the top coefficient down.
+            // apc-lint: allow(L2) -- split() always returns k >= 1 parts
             let mut acc = Int::from_nat(parts.last().expect("k >= 1 parts").clone());
             for part in parts.iter().rev().skip(1) {
                 acc = acc.mul_i128(a);
@@ -199,6 +202,7 @@ fn inverse_for(k: usize) -> &'static Vec<Vec<Rat>> {
         for col in 0..m {
             let pivot_row = (col..m)
                 .find(|&r| !aug[r][col].is_zero())
+                // apc-lint: allow(L2) -- Vandermonde matrix at distinct points is nonsingular
                 .expect("evaluation matrix is nonsingular");
             aug.swap(col, pivot_row);
             let pivot = aug[col][col];

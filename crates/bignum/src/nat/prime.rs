@@ -35,20 +35,23 @@ impl Nat {
                 return false;
             }
         }
-        // self is odd and > 97 here.
+        // self is odd and > 97 here, so n-1 is nonzero and even.
         let n_minus_1 = self - &Nat::one();
-        let s = n_minus_1.trailing_zeros().expect("n-1 > 0");
+        let Some(s) = n_minus_1.trailing_zeros() else {
+            return false;
+        };
         let d = n_minus_1.shr_bits(s);
         let ctx = MontgomeryCtx::new(self.clone());
 
+        let rounds = crate::limb::usize_from(u64::from(rounds));
         let fixed: &[u64] = &[2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
-        let fixed_rounds = fixed.len().min(rounds as usize);
+        let fixed_rounds = fixed.len().min(rounds);
         for &a in &fixed[..fixed_rounds] {
             if !miller_rabin_round(self, &n_minus_1, &d, s, &Nat::from(a), &ctx) {
                 return false;
             }
         }
-        for _ in fixed_rounds..rounds as usize {
+        for _ in fixed_rounds..rounds {
             let a = Nat::random_below(&n_minus_1, rng).add_limb(2);
             if a >= *self {
                 continue;

@@ -71,15 +71,16 @@ impl Nat {
         if self.is_zero() {
             return "0".to_string();
         }
-        if self.limb_len() <= 2 {
-            return self.to_u128().expect("<= 2 limbs").to_string();
+        if let Some(v) = self.to_u128() {
+            return v.to_string();
         }
         // Tower of powers: powers[i] = 10^(19·2^i); grow until it exceeds
         // self so that `self < powers[top]`.
-        let mut powers = vec![Nat::from(CHUNK_VALUE)];
-        while powers.last().expect("nonempty") <= self {
-            let top = powers.last().expect("nonempty");
-            powers.push(top * top);
+        let mut top = Nat::from(CHUNK_VALUE);
+        let mut powers = vec![top.clone()];
+        while &top <= self {
+            top = &top * &top;
+            powers.push(top.clone());
         }
         let mut out = String::new();
         render(self, &powers, powers.len() - 1, true, &mut out);
@@ -92,6 +93,7 @@ impl Nat {
 /// padding at the front of the whole number.
 fn render(n: &Nat, powers: &[Nat], level: usize, leading: bool, out: &mut String) {
     if level == 0 {
+        // apc-lint: allow(L2) -- render invariant: n < powers[0] = 10^19 < 2^128
         let v = n.to_u128().expect("chunk below 10^19 fits");
         if leading {
             out.push_str(&v.to_string());

@@ -19,7 +19,7 @@ impl Nat {
         if bits == 0 {
             return Nat::zero();
         }
-        let limbs = bits.div_ceil(64) as usize;
+        let limbs = crate::limb::usize_from(bits.div_ceil(64));
         let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
         let rem = bits % 64;
         if rem != 0 {

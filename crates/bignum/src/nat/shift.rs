@@ -3,7 +3,7 @@
 //! limbs.
 
 use super::Nat;
-use crate::limb::{Limb, LIMB_BITS};
+use crate::limb::{bit_split, Limb, LIMB_BITS};
 use std::ops::{Shl, Shr};
 
 /// Shifts a limb slice left by `bits < 64`, returning the shifted limbs plus
@@ -34,8 +34,7 @@ impl Nat {
         if self.is_zero() || bits == 0 {
             return if bits == 0 { self.clone() } else { Nat::zero() };
         }
-        let limb_shift = (bits / u64::from(LIMB_BITS)) as usize;
-        let bit_shift = (bits % u64::from(LIMB_BITS)) as u32;
+        let (limb_shift, bit_shift) = bit_split(bits);
         let mut limbs = vec![0; limb_shift];
         let (shifted, carry) = shl_small(self.limbs(), bit_shift);
         limbs.extend_from_slice(&shifted);
@@ -59,8 +58,7 @@ impl Nat {
         if bits >= self.bit_len() {
             return Nat::zero();
         }
-        let limb_shift = (bits / u64::from(LIMB_BITS)) as usize;
-        let bit_shift = (bits % u64::from(LIMB_BITS)) as u32;
+        let (limb_shift, bit_shift) = bit_split(bits);
         let src = &self.limbs()[limb_shift..];
         if bit_shift == 0 {
             return Nat::from_limbs(src.to_vec());
@@ -100,8 +98,7 @@ impl Nat {
         if bits >= self.bit_len() {
             return self.clone();
         }
-        let full_limbs = (bits / u64::from(LIMB_BITS)) as usize;
-        let rem_bits = (bits % u64::from(LIMB_BITS)) as u32;
+        let (full_limbs, rem_bits) = bit_split(bits);
         let mut limbs = self.limbs()[..full_limbs].to_vec();
         if rem_bits != 0 {
             let mask = (1u64 << rem_bits) - 1;

@@ -59,7 +59,7 @@ pub(crate) fn sqr(a: &Nat, th: &Thresholds) -> Nat {
 /// a² = 2·Σ_{i<j} aᵢaⱼ·B^{i+j} + Σ aᵢ²·B^{2i}.
 fn sqr_basecase(a: &[Limb]) -> Nat {
     let n = a.len();
-    let mut out = vec![0 as Limb; 2 * n];
+    let mut out: Vec<Limb> = vec![0; 2 * n];
     // Cross products (strictly upper triangle).
     for i in 0..n {
         let mut carry: Limb = 0;

@@ -53,7 +53,9 @@ fn sqrt_normalized(n: &Nat) -> Nat {
         return Nat::from(isqrt_u64(n.low_u64()));
     }
     if l <= 126 {
-        return Nat::from(isqrt_u128(n.to_u128().expect("<= 126 bits")));
+        if let Some(v) = n.to_u128() {
+            return Nat::from(isqrt_u128(v));
+        }
     }
     // Split n = n_hi·2^{2k} + n1·2^k + n0 with k = floor(l/4) rounded so
     // 2k is limb-friendly; recursion follows Zimmermann's SqrtRem.

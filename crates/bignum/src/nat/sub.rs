@@ -89,6 +89,7 @@ impl Sub<&Nat> for &Nat {
     /// version.
     fn sub(self, rhs: &Nat) -> Nat {
         self.checked_sub(rhs)
+            // apc-lint: allow(L2) -- documented operator panic; checked_sub is the fallible API
             .expect("natural subtraction underflow")
     }
 }

@@ -13,13 +13,13 @@ use crate::pe::pe_pass;
 use crate::transform::{reversed_x_slice, to_limb_vector};
 use apc_bignum::Nat;
 
-/// A Cambricon-P device instance (structural model).
+/// A Cambricon-P device instance (structural model of Fig. 9a).
 #[derive(Debug, Clone, Default)]
 pub struct Accelerator {
     config: ArchConfig,
 }
 
-/// Outcome of a structural run.
+/// Outcome of a structural run through the Fig. 9a pipeline.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// The computed product.
@@ -33,22 +33,23 @@ pub struct RunOutcome {
 }
 
 impl Accelerator {
-    /// A device with the given configuration.
+    /// A device with the given configuration (Fig. 9a organization).
     pub fn new(config: ArchConfig) -> Self {
         Accelerator { config }
     }
 
-    /// A device with the paper's default configuration.
+    /// A device with the paper's default §VII configuration.
     pub fn new_default() -> Self {
         Accelerator::default()
     }
 
-    /// The configuration in use.
+    /// The §VII configuration in use.
     pub fn config(&self) -> &ArchConfig {
         &self.config
     }
 
-    /// Multiplies two naturals through the full bitflow pipeline.
+    /// Multiplies two naturals through the full bitflow pipeline
+    /// (Fig. 9a).
     ///
     /// Decomposition: operand `x` is cut into q-limb *pattern blocks*
     /// (Converter inputs); the convolution outputs are processed in
@@ -75,7 +76,7 @@ impl Accelerator {
             };
         }
         let l = self.config.limb_bits;
-        let q = self.config.q as usize;
+        let q = crate::cast::usize_from(u64::from(self.config.q));
         let n_ipu = self.config.n_ipu;
 
         let xs = to_limb_vector(x, l);
@@ -133,7 +134,7 @@ impl Accelerator {
     }
 }
 
-/// Outcome of a structural addition.
+/// Outcome of a structural addition over the chained GUs (§V-C).
 #[derive(Debug, Clone)]
 pub struct AddOutcome {
     /// The computed sum.

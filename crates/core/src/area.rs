@@ -13,7 +13,7 @@ use crate::config::ArchConfig;
 
 /// Standard-cell areas in µm² (TSMC 16 nm high-density track, typical
 /// published ranges: FF 0.6–1.1, full adder 0.8–1.2, 2:1 mux 0.12–0.25,
-/// SRAM bit 0.05–0.10).
+/// SRAM bit 0.05–0.10) — the §VII-A synthesis node.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellLibrary {
     /// D flip-flop.
@@ -37,7 +37,7 @@ impl Default for CellLibrary {
     }
 }
 
-/// Area breakdown of one device in mm².
+/// Area breakdown of one device in mm² (§VII-A).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AreaBreakdown {
     /// All Converters (2^q − q − 1 serial adders each).
@@ -53,7 +53,7 @@ pub struct AreaBreakdown {
 }
 
 impl AreaBreakdown {
-    /// Total device area.
+    /// Total device area (§VII-A: 1.894 mm² at the design point).
     pub fn total_mm2(&self) -> f64 {
         self.converters_mm2
             + self.ipus_mm2
@@ -63,7 +63,7 @@ impl AreaBreakdown {
     }
 }
 
-/// Computes the structural area estimate for a configuration.
+/// Computes the structural area estimate for a configuration (§VII-A).
 pub fn estimate(config: &ArchConfig, lib: &CellLibrary) -> AreaBreakdown {
     let q = config.q as f64;
     let l = f64::from(config.limb_bits);

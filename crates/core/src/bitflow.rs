@@ -7,7 +7,7 @@
 
 use apc_bignum::Nat;
 
-/// A finite bit-serial stream, LSB first.
+/// A finite bit-serial stream, LSB first (§V-B3).
 ///
 /// ```
 /// use apc_bignum::Nat;
@@ -26,7 +26,7 @@ pub struct Bitflow {
 
 impl Bitflow {
     /// Wraps a value into a stream of exactly `len` bits (the value must
-    /// fit).
+    /// fit) — the serialization step of §V-B3.
     ///
     /// # Panics
     ///
@@ -40,7 +40,7 @@ impl Bitflow {
         Bitflow { value, len }
     }
 
-    /// A stream of `len` zero bits.
+    /// A stream of `len` zero bits — the §V-B3 padding flow.
     pub fn zeros(len: u64) -> Bitflow {
         Bitflow {
             value: Nat::zero(),
@@ -48,33 +48,35 @@ impl Bitflow {
         }
     }
 
-    /// The stream length in bits (= cycles to transmit at 1 bit/cycle).
+    /// The stream length in bits (= cycles to transmit at the 1 bit/cycle
+    /// rate of §V-B3).
     pub fn len(&self) -> u64 {
         self.len
     }
 
-    /// Whether the stream is empty.
+    /// Whether the §V-B3 stream is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
-    /// The value carried by the stream.
+    /// The value carried by the §V-B3 stream.
     pub fn value(&self) -> &Nat {
         &self.value
     }
 
-    /// Bit at stream position `t` (cycle `t`).
+    /// Bit at stream position `t` — the bit on the wire at cycle `t`
+    /// (§V-B3).
     pub fn bit(&self, t: u64) -> bool {
         t < self.len && self.value.bit(t)
     }
 
-    /// Iterates the stream bits in transmission order.
+    /// Iterates the stream bits in §V-B3 transmission order (LSB first).
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |t| self.bit(t))
     }
 
     /// Concatenates another flow after this one (value-wise this is
-    /// `self + (other << len)`).
+    /// `self + (other << len)`), as when §V-B3 blocks stream back-to-back.
     pub fn chain(&self, other: &Bitflow) -> Bitflow {
         Bitflow {
             value: &self.value + &other.value.shl_bits(self.len),
@@ -88,7 +90,7 @@ impl Bitflow {
     pub fn split(&self, width: u64) -> Vec<Bitflow> {
         assert!(width > 0, "split width must be positive");
         let count = self.len.div_ceil(width).max(1);
-        let mut out = Vec::with_capacity(count as usize);
+        let mut out = Vec::with_capacity(crate::cast::usize_from(count));
         let mut rest = self.value.clone();
         for _ in 0..count {
             let (lo, hi) = rest.split_at_bit(width);

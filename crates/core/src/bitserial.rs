@@ -16,8 +16,8 @@ use std::collections::VecDeque;
 // Primitive sequential elements
 // ---------------------------------------------------------------------------
 
-/// A bit-serial adder: one full adder plus a carry flip-flop. Streams are
-/// LSB first; one sum bit per clock.
+/// A bit-serial adder (the FA element of Fig. 10): one full adder plus a
+/// carry flip-flop. Streams are LSB first; one sum bit per clock.
 ///
 /// ```
 /// use cambricon_p::bitserial::SerialAdder;
@@ -35,12 +35,13 @@ pub struct SerialAdder {
 }
 
 impl SerialAdder {
-    /// A new adder with cleared carry.
+    /// A new Fig. 10 adder with cleared carry.
     pub fn new() -> Self {
         SerialAdder::default()
     }
 
-    /// One clock edge: consumes one bit of each operand, emits one sum bit.
+    /// One clock edge of the Fig. 10 FA: consumes one bit of each operand,
+    /// emits one sum bit.
     #[inline]
     pub fn step(&mut self, a: bool, b: bool) -> bool {
         let sum = a ^ b ^ self.carry;
@@ -48,12 +49,12 @@ impl SerialAdder {
         sum
     }
 
-    /// The carry flip-flop's current state.
+    /// The Fig. 10 carry flip-flop's current state.
     pub fn carry(&self) -> bool {
         self.carry
     }
 
-    /// Clears the carry (between operations).
+    /// Clears the carry between operations (Fig. 10 reset).
     pub fn reset(&mut self) {
         self.carry = false;
     }
@@ -69,13 +70,13 @@ pub struct SerialSubtractor {
 }
 
 impl SerialSubtractor {
-    /// A new subtractor with cleared borrow.
+    /// A new §V-C subtractor with cleared borrow.
     pub fn new() -> Self {
         SerialSubtractor::default()
     }
 
-    /// One clock edge: consumes one bit of each operand, emits one
-    /// difference bit.
+    /// One clock edge of the §V-C subtract datapath: consumes one bit of
+    /// each operand, emits one difference bit.
     #[inline]
     pub fn step(&mut self, a: bool, b: bool) -> bool {
         let diff = a ^ b ^ self.borrow;
@@ -83,35 +84,39 @@ impl SerialSubtractor {
         diff
     }
 
-    /// Whether a borrow is pending (nonzero ⇒ the running difference went
-    /// negative).
+    /// Whether a §V-C borrow is pending (nonzero ⇒ the running difference
+    /// went negative).
     pub fn borrow(&self) -> bool {
         self.borrow
     }
 }
 
-/// A fixed-depth delay line (shift register of bits).
+/// A fixed-depth delay line (shift register of bits) — the 2^L weighting
+/// element of the Fig. 10 GU chain.
 #[derive(Debug, Clone)]
 pub struct DelayLine {
     fifo: VecDeque<bool>,
 }
 
 impl DelayLine {
-    /// A delay of `depth` cycles, initialized to zeros.
+    /// A delay of `depth` cycles (Fig. 10), initialized to zeros.
     pub fn new(depth: usize) -> Self {
         DelayLine {
             fifo: VecDeque::from(vec![false; depth]),
         }
     }
 
-    /// Pushes one bit in, pops the bit from `depth` cycles ago.
+    /// Pushes one bit in, pops the bit from `depth` cycles ago (the
+    /// Fig. 10 shift step).
     #[inline]
     pub fn step(&mut self, input: bool) -> bool {
         self.fifo.push_back(input);
-        self.fifo.pop_front().expect("fixed depth")
+        // The pop only sees an empty FIFO at depth 0, where passing the
+        // input through is the exact zero-delay semantics.
+        self.fifo.pop_front().unwrap_or(input)
     }
 
-    /// Random access into the line: `tap(0)` is the newest bit.
+    /// Random access into the Fig. 10 line: `tap(0)` is the newest bit.
     pub fn tap(&self, age: usize) -> bool {
         let len = self.fifo.len();
         if age < len {
@@ -137,7 +142,7 @@ pub struct ClockedConverter {
 }
 
 impl ClockedConverter {
-    /// A converter for `q ≤ 6` input flows.
+    /// A Fig. 9b converter for `q ≤ 6` input flows.
     pub fn new(q: usize) -> Self {
         assert!(q >= 1 && q <= 6, "converter fan-in out of range");
         ClockedConverter {
@@ -146,8 +151,8 @@ impl ClockedConverter {
         }
     }
 
-    /// One clock edge: consumes one bit of each input flow, emits one bit
-    /// of every pattern flow (index = subset mask).
+    /// One clock edge of the Fig. 9b tree: consumes one bit of each input
+    /// flow, emits one bit of every pattern flow (index = subset mask).
     ///
     /// Composite patterns are produced by adding a singleton flow into the
     /// prefix pattern's flow, one serial adder per composite — note the
@@ -158,7 +163,7 @@ impl ClockedConverter {
         assert_eq!(inputs.len(), self.q);
         let mut out = vec![false; 1 << self.q];
         for mask in 1usize..(1 << self.q) {
-            let low = mask.trailing_zeros() as usize;
+            let low = crate::cast::usize_from(u64::from(mask.trailing_zeros()));
             let rest = mask & (mask - 1);
             out[mask] = if rest == 0 {
                 inputs[low]
@@ -174,8 +179,8 @@ impl ClockedConverter {
 // Clocked IPU — diagonal compressor
 // ---------------------------------------------------------------------------
 
-/// A fully bit-serial IPU: patterns and indexes both arrive as bitflows,
-/// the partial-sum flow leaves at one bit per cycle.
+/// A fully bit-serial IPU (Fig. 9c): patterns and indexes both arrive as
+/// bitflows, the partial-sum flow leaves at one bit per cycle.
 ///
 /// Let P(t) be the pattern value selected by the index column of cycle t.
 /// The partial sum is V = Σ_t P(t)·2^t, so its output bit at cycle m is
@@ -202,7 +207,7 @@ pub struct ClockedIpu {
 }
 
 impl ClockedIpu {
-    /// An IPU for `q` index flows whose pattern values fit in
+    /// A Fig. 9c IPU for `q` index flows whose pattern values fit in
     /// `pattern_bits` bits.
     pub fn new(q: usize, pattern_bits: usize) -> Self {
         assert!(q >= 1 && q <= 6);
@@ -216,8 +221,9 @@ impl ClockedIpu {
         }
     }
 
-    /// One clock edge: consumes one bit of every pattern flow plus one bit
-    /// of every index flow, emits one bit of the partial-sum flow.
+    /// One clock edge of the Fig. 9c datapath: consumes one bit of every
+    /// pattern flow plus one bit of every index flow, emits one bit of the
+    /// partial-sum flow.
     pub fn step(&mut self, pattern_bits: &[bool], index_bits: &[bool]) -> bool {
         assert_eq!(pattern_bits.len(), 1 << self.q);
         assert_eq!(index_bits.len(), self.q);
@@ -249,7 +255,8 @@ impl ClockedIpu {
         out
     }
 
-    /// Drains one output bit after the inputs have ended (feed zeros).
+    /// Drains one output bit after the inputs have ended (feed zeros into
+    /// the Fig. 9c pipeline).
     pub fn drain(&mut self) -> bool {
         self.step(&vec![false; 1 << self.q], &vec![false; self.q])
     }
@@ -269,7 +276,7 @@ pub struct ClockedGu {
 }
 
 impl ClockedGu {
-    /// A GU combining `n_flows` IPU flows at stride `l` bits.
+    /// A Fig. 10 GU combining `n_flows` IPU flows at stride `l` bits.
     pub fn new(n_flows: usize, l: usize) -> Self {
         assert!(n_flows >= 1);
         ClockedGu {
@@ -280,9 +287,10 @@ impl ClockedGu {
         }
     }
 
-    /// One clock edge: consumes one bit of each IPU flow, emits one bit of
-    /// the gathered flow. Internally the chain runs MSB-side first so each
-    /// stage's delay line weights its upper input by 2^L.
+    /// One clock edge of the Fig. 10 chain: consumes one bit of each IPU
+    /// flow, emits one bit of the gathered flow. Internally the chain runs
+    /// MSB-side first so each stage's delay line weights its upper input
+    /// by 2^L.
     pub fn step(&mut self, flow_bits: &[bool]) -> bool {
         let n = flow_bits.len();
         assert_eq!(n, self.adders.len() + 1);
@@ -300,25 +308,26 @@ impl ClockedGu {
 // End-to-end clocked PE
 // ---------------------------------------------------------------------------
 
-/// Runs a whole clocked PE pass: converter + `ys.len()` IPUs + GU, cycle
-/// by cycle, returning the gathered value reassembled from the output
-/// bitflow. Validated against the functional [`crate::pe::pe_pass`].
+/// Runs a whole clocked PE pass (Fig. 9a): converter + `ys.len()` IPUs +
+/// GU, cycle by cycle, returning the gathered value reassembled from the
+/// output bitflow. Validated against the functional [`crate::pe::pe_pass`].
 ///
 /// `x_block` and every index tuple hold q limbs of at most `l` bits.
 pub fn clocked_pe_pass(x_block: &[Nat], ys_per_ipu: &[Vec<Nat>], l: u32) -> Nat {
     let q = x_block.len();
     let n_ipu = ys_per_ipu.len();
-    let pattern_bits = l as usize + q; // subset sums grow by log2(q) ≤ q bits
+    let l_cycles = crate::cast::usize_from(u64::from(l));
+    let pattern_bits = l_cycles + q; // subset sums grow by log2(q) ≤ q bits
     let mut converter = ClockedConverter::new(q);
     let mut ipus: Vec<ClockedIpu> = (0..n_ipu)
         .map(|_| ClockedIpu::new(q, pattern_bits))
         .collect();
-    let mut gu = ClockedGu::new(n_ipu, l as usize);
+    let mut gu = ClockedGu::new(n_ipu, l_cycles);
 
     // Total cycles: stream l index bits, then drain every pipeline stage.
     let ipu_extra = 2 * pattern_bits + 8; // partial sums ≤ 2L + q bits + slack
-    let gu_extra = n_ipu * l as usize + 64;
-    let total_cycles = l as usize + ipu_extra + gu_extra;
+    let gu_extra = n_ipu * l_cycles + 64;
+    let total_cycles = l_cycles + ipu_extra + gu_extra;
 
     let mut out_bits: Vec<bool> = Vec::with_capacity(total_cycles);
     for cycle in 0..total_cycles {
@@ -334,7 +343,8 @@ pub fn clocked_pe_pass(x_block: &[Nat], ys_per_ipu: &[Vec<Nat>], l: u32) -> Nat 
     bits_to_nat(&out_bits)
 }
 
-/// Reassembles an LSB-first bit vector into a natural number.
+/// Reassembles an LSB-first (§V-B3 order) bit vector into a natural
+/// number.
 pub fn bits_to_nat(bits: &[bool]) -> Nat {
     let mut n = Nat::zero();
     for (i, &b) in bits.iter().enumerate() {

@@ -8,31 +8,31 @@
 //! `q·p_x·p_y` for the straightforward bit-serial scheme, i.e. a ratio
 //! λ = (1 + (2^q − 1)/p_y)/q with minimum 0.367 at q = 4 for p_y = 32.
 
-/// bops cost of one addition.
+/// bops cost of one addition, per the §IV-B definition.
 pub fn bops_add(p_x: u64, p_y: u64) -> u64 {
     p_x.max(p_y)
 }
 
-/// bops cost of one multiplication.
+/// bops cost of one multiplication, per the §IV-B definition.
 pub fn bops_mul(p_x: u64, p_y: u64) -> u64 {
     p_x * p_y
 }
 
-/// Analytic bops of a q-element inner product under BIPS (upper bound used
-/// in the paper's benefit analysis).
+/// Analytic bops of a q-element inner product under BIPS (the §IV-B upper
+/// bound of the benefit analysis).
 pub fn bips_bops(q: u32, p_x: u64, p_y: u64) -> u64 {
     let patterns = ((1u64 << q) - u64::from(q) - 1) * p_x;
     let gather = p_y * (p_x + u64::from(q));
     patterns + gather
 }
 
-/// Analytic bops of the straightforward bit-serial scheme for the same
-/// inner product.
+/// Analytic bops of the straightforward bit-serial scheme (§IV-B, Fig. 6b)
+/// for the same inner product.
 pub fn bit_serial_bops(q: u32, p_x: u64, p_y: u64) -> u64 {
     u64::from(q) * p_x * p_y
 }
 
-/// The bops ratio λ(q) for `p_x, p_y ≫ q`:
+/// The §IV-B bops ratio λ(q) for `p_x, p_y ≫ q`:
 /// λ = (1 + (2^q − 1)/p_y) / q.
 ///
 /// ```
@@ -44,25 +44,26 @@ pub fn lambda(q: u32, p_y: f64) -> f64 {
     (1.0 + (((1u64 << q) - 1) as f64) / p_y) / f64::from(q)
 }
 
-/// The q that minimizes λ for a given index bitwidth, over 1..=max_q.
+/// The q that minimizes the §IV-B λ for a given index bitwidth, over
+/// 1..=max_q (a `max_q` below 1 is treated as 1).
 ///
 /// ```
 /// use cambricon_p::bops::optimal_q;
 /// assert_eq!(optimal_q(32.0, 8), 4); // the paper's design choice
 /// ```
 pub fn optimal_q(p_y: f64, max_q: u32) -> u32 {
-    (1..=max_q)
-        .min_by(|&a, &b| {
-            lambda(a, p_y)
-                .partial_cmp(&lambda(b, p_y))
-                .expect("lambda is finite")
-        })
-        .expect("non-empty range")
+    let mut best = 1;
+    for q in 2..=max_q {
+        if lambda(q, p_y) < lambda(best, p_y) {
+            best = q;
+        }
+    }
+    best
 }
 
 /// Running bops tally, accumulated by the functional units while they
 /// execute so that measured redundancy elimination can be compared with
-/// the analytic bound.
+/// the analytic §IV-B bound.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BopsTally {
     /// bops spent generating patterns (Converter).
@@ -78,12 +79,13 @@ pub struct BopsTally {
 }
 
 impl BopsTally {
-    /// Total bops actually spent.
+    /// Total bops (§IV-B metric) actually spent.
     pub fn total(&self) -> u64 {
         self.pattern_generation + self.weighted_gather
     }
 
-    /// Measured ratio against the bit-serial reference (the empirical λ).
+    /// Measured ratio against the bit-serial reference — the empirical λ
+    /// of §IV-B.
     pub fn measured_lambda(&self) -> f64 {
         if self.bit_serial_reference == 0 {
             return 0.0;
@@ -91,7 +93,7 @@ impl BopsTally {
         self.total() as f64 / self.bit_serial_reference as f64
     }
 
-    /// Merges another tally into this one.
+    /// Merges another §IV-B tally into this one.
     pub fn merge(&mut self, other: &BopsTally) {
         self.pattern_generation += other.pattern_generation;
         self.weighted_gather += other.weighted_gather;

@@ -1,0 +1,15 @@
+//! Checked narrowing conversions for kernel paths.
+//!
+//! apc-lint rule L3 bans bare `as` narrowing casts in `crates/core` because
+//! a silent truncation would break the bit-exactness contract of the
+//! inner-product transformation (Eq. 1). These helpers make the narrowing
+//! explicit: lossless on 64-bit targets, saturating on narrower ones, where
+//! the saturated value is only reachable for sizes that could never have
+//! been allocated in the first place.
+
+/// Converts a `u64` count or index to `usize`, saturating on 16/32-bit
+/// targets.
+#[inline]
+pub(crate) fn usize_from(x: u64) -> usize {
+    usize::try_from(x).unwrap_or(usize::MAX)
+}

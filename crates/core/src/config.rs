@@ -1,5 +1,5 @@
-//! Architecture configuration — the paper's implemented design point and
-//! knobs for ablation studies.
+//! Architecture configuration — the paper's implemented design point
+//! (§VII-A) and knobs for ablation studies.
 
 /// Configuration of a Cambricon-P instance.
 ///
@@ -63,12 +63,12 @@ impl Default for ArchConfig {
 }
 
 impl ArchConfig {
-    /// Total IPUs on the device.
+    /// Total IPUs on the device (§VII-A: 256 × 32).
     pub fn total_ipus(&self) -> usize {
         self.n_pe * self.n_ipu
     }
 
-    /// Peak limb-MAC throughput per cycle.
+    /// Peak limb-MAC throughput per cycle (§VII-A design point).
     ///
     /// Each IPU streams `limb_bits` index bits and accumulates `q` limb
     /// products per pass, i.e. `q / limb_bits` limb-MACs per cycle;
@@ -77,20 +77,20 @@ impl ArchConfig {
         self.total_ipus() as f64 * f64::from(self.q) / f64::from(self.limb_bits)
     }
 
-    /// Seconds per clock cycle.
+    /// Seconds per clock cycle at the §VII-A design frequency.
     pub fn cycle_seconds(&self) -> f64 {
         1e-9 / self.clock_ghz
     }
 
-    /// Effective memory bandwidth after the Memory Agent idle derate
-    /// (bytes/second).
+    /// Effective memory bandwidth after the §VII-B Memory Agent idle
+    /// derate (bytes/second).
     pub fn effective_bandwidth_bytes(&self) -> f64 {
         self.llc_bandwidth_gbs * 1e9 * (1.0 - self.ma_idle_fraction)
     }
 
-    /// Peak arithmetic throughput in bit-operations per second: every IPU
-    /// retires `q` pattern-indexed bit accumulations per cycle across
-    /// `limb_bits`-wide adders.
+    /// Peak arithmetic throughput in bit-operations per second (§VII-A):
+    /// every IPU retires `q` pattern-indexed bit accumulations per cycle
+    /// across `limb_bits`-wide adders.
     pub fn peak_bitops_per_second(&self) -> f64 {
         self.total_ipus() as f64
             * f64::from(self.q)

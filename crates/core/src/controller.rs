@@ -7,8 +7,8 @@
 
 use crate::config::ArchConfig;
 
-/// The inner-production workload form both controller levels decompose.
-/// Ranges are limb indices into the operand vectors.
+/// The inner-production workload form both controller levels decompose
+/// (§V-B3). Ranges are limb indices into the operand vectors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InnerProduction {
     /// First element index (inclusive).
@@ -18,25 +18,25 @@ pub struct InnerProduction {
 }
 
 impl InnerProduction {
-    /// A workload over `[start, end)`.
+    /// A workload over `[start, end)` limb pairs (§V-B3).
     pub fn new(start: usize, end: usize) -> Self {
         assert!(start <= end, "inverted range");
         InnerProduction { start, end }
     }
 
-    /// Number of element pairs.
+    /// Number of element pairs in the §V-B3 workload.
     pub fn len(&self) -> usize {
         self.end - self.start
     }
 
-    /// Whether the workload is empty.
+    /// Whether the §V-B3 workload is empty.
     pub fn is_empty(&self) -> bool {
         self.start == self.end
     }
 
     /// Decomposes into at most `units` contiguous sub-workloads of
-    /// near-equal size — the operation both the CC (across PEs) and the
-    /// PEC (across IPUs, in q-element groups) perform.
+    /// near-equal size — the fractal operation (§V-B3) both the CC (across
+    /// PEs) and the PEC (across IPUs, in q-element groups) perform.
     pub fn decompose(&self, units: usize, granularity: usize) -> Vec<InnerProduction> {
         assert!(units > 0 && granularity > 0);
         if self.is_empty() {
@@ -57,15 +57,15 @@ impl InnerProduction {
     }
 }
 
-/// One fully decomposed control schedule: CC → PEs → IPUs.
+/// One fully decomposed control schedule (§V-B3): CC → PEs → IPUs.
 #[derive(Debug, Clone)]
 pub struct Schedule {
     /// Per-PE workload (index = PE id), then per-IPU within each PE.
     pub per_pe: Vec<(InnerProduction, Vec<InnerProduction>)>,
 }
 
-/// Runs the two-level decomposition for an inner production of
-/// `elements` limb pairs.
+/// Runs the two-level fractal decomposition (§V-B3) for an inner
+/// production of `elements` limb pairs.
 ///
 /// ```
 /// use cambricon_p::controller::schedule;
@@ -82,7 +82,7 @@ pub struct Schedule {
 /// ```
 pub fn schedule(elements: usize, config: &ArchConfig) -> Schedule {
     let root = InnerProduction::new(0, elements);
-    let q = config.q as usize;
+    let q = crate::cast::usize_from(u64::from(config.q));
     let per_pe = root
         .decompose(config.n_pe, q)
         .into_iter()
@@ -95,8 +95,8 @@ pub fn schedule(elements: usize, config: &ArchConfig) -> Schedule {
 }
 
 impl Schedule {
-    /// Checks the fractal invariants: coverage (every index exactly once,
-    /// in order) and fit (no more PEs/IPUs used than exist).
+    /// Checks the fractal invariants of §V-B3: coverage (every index
+    /// exactly once, in order) and fit (no more PEs/IPUs used than exist).
     pub fn verify(&self, elements: usize, config: &ArchConfig) -> bool {
         if self.per_pe.len() > config.n_pe {
             return false;

@@ -9,7 +9,8 @@
 use crate::bops::BopsTally;
 use apc_bignum::Nat;
 
-/// Result of one Converter pass: the 2^q patterns and the bops spent.
+/// Result of one Converter pass (Fig. 9b): the 2^q patterns and the bops
+/// spent.
 #[derive(Debug, Clone)]
 pub struct Patterns {
     /// patterns[s] = Σ_{i ∈ s} x_i, for every subset bitmask s.
@@ -20,38 +21,40 @@ pub struct Patterns {
 }
 
 impl Patterns {
-    /// The pattern value for subset mask `s`.
+    /// The pattern value for subset mask `s` — the z_s flow of Fig. 8.
     pub fn get(&self, s: usize) -> &Nat {
         &self.values[s]
     }
 
-    /// All 2^q patterns, indexed by subset mask.
+    /// All 2^q patterns of Fig. 8, indexed by subset mask.
     pub fn as_slice(&self) -> &[Nat] {
         &self.values
     }
 
-    /// Number of patterns (2^q).
+    /// Number of patterns (2^q, Fig. 8).
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
-    /// Whether there are no patterns (never true after generation).
+    /// Whether there are no patterns (never true after a Fig. 8
+    /// generation pass).
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
 
-    /// Width of the input elements.
+    /// Width of the input elements (p_x in the Fig. 8 dataflow).
     pub fn element_bits(&self) -> u64 {
         self.element_bits
     }
 
-    /// bops spent generating these patterns.
+    /// bops (§VI-B metric) spent generating these patterns.
     pub fn tally(&self) -> &BopsTally {
         &self.tally
     }
 }
 
-/// Generates all 2^q subset-sum patterns of `xs` (the Converter pass).
+/// Generates all 2^q subset-sum patterns of `xs` — the Converter pass of
+/// Fig. 9b.
 ///
 /// Reuses sub-sums exactly like the hardware: pattern for mask `s` is
 /// computed as `pattern[s without lowest bit] + x[lowest bit]`, a single
@@ -87,7 +90,7 @@ pub fn generate_patterns(xs: &[Nat], element_bits: u64) -> Patterns {
     values.push(Nat::zero());
     let mut tally = BopsTally::default();
     for s in 1usize..(1 << q) {
-        let low = s.trailing_zeros() as usize;
+        let low = crate::cast::usize_from(u64::from(s.trailing_zeros()));
         let rest = s & (s - 1);
         if rest == 0 {
             // Singleton: the input itself, no addition.
@@ -100,15 +103,17 @@ pub fn generate_patterns(xs: &[Nat], element_bits: u64) -> Patterns {
             values.push(v);
         }
     }
-    Patterns {
+    let patterns = Patterns {
         values,
         element_bits,
         tally,
-    }
+    };
+    crate::invariants::check_patterns(&patterns, xs);
+    patterns
 }
 
-/// Number of adders a q-input Converter instantiates (2^q − q − 1), per the
-/// paper's benefit analysis.
+/// Number of adders a q-input Converter instantiates (2^q − q − 1), per
+/// the §V-B2 benefit analysis.
 pub fn converter_adder_count(q: u32) -> u64 {
     (1u64 << q) - u64::from(q) - 1
 }

@@ -1,0 +1,123 @@
+//! Runtime invariants of the hardware model — the structural contracts of
+//! the BIPS pipeline (Fig. 8) and the carry-parallel gather (Eq. 2,
+//! Fig. 7), checked at the points the model produces them.
+//!
+//! Like `apc_bignum::invariants`, checks compile in under
+//! `debug_assertions` **or** the `paranoid` cargo feature (which forwards
+//! to `apc-bignum/paranoid`), and vanish from plain release builds:
+//!
+//! ```text
+//! cargo test -p cambricon-p --release --features paranoid
+//! ```
+
+use crate::converter::Patterns;
+use apc_bignum::Nat;
+
+/// Whether invariant checks are compiled into this build (debug, or the
+/// `paranoid` feature) — the same gate as the Eq. 2 / Fig. 8 checks below.
+#[inline]
+#[must_use]
+pub const fn enabled() -> bool {
+    cfg!(any(debug_assertions, feature = "paranoid"))
+}
+
+/// Converter pattern-table completeness (Fig. 8): the table must hold
+/// exactly 2^q entries, pattern 0 must be the empty subset sum (zero),
+/// singletons must equal the inputs, and every mask must be the exact
+/// subset sum of its elements — the reuse chain (z₁₅ from z₃ + z₁₂)
+/// must never drift from the definition.
+pub fn check_patterns(patterns: &Patterns, xs: &[Nat]) {
+    if !enabled() {
+        return;
+    }
+    assert_eq!(
+        patterns.len(),
+        1usize << xs.len(),
+        "Fig. 8 invariant: a q-input Converter must emit 2^q patterns"
+    );
+    assert!(
+        patterns.get(0).is_zero(),
+        "Fig. 8 invariant: pattern 0 (the empty subset) must be zero"
+    );
+    for s in 0..patterns.len() {
+        let mut sum = Nat::zero();
+        for (i, x) in xs.iter().enumerate() {
+            if s & (1usize << i) != 0 {
+                sum = &sum + x;
+            }
+        }
+        assert_eq!(
+            patterns.get(s),
+            &sum,
+            "Fig. 8 invariant: pattern {s:#b} must equal its subset sum"
+        );
+    }
+}
+
+/// IPU/BIPS alignment bound (Fig. 8): a q-element inner product of
+/// `element_bits`-bit patterns indexed by `index_bits`-bit operands is
+/// strictly below 2^(p_x + p_y + bitlen(q)), so its bit length may not
+/// exceed that sum. A wider value means a gather misalignment upstream.
+pub fn check_ipu_bound(value: &Nat, q: usize, element_bits: u64, index_bits: u64) {
+    if !enabled() {
+        return;
+    }
+    let q_bits = u64::from(usize::BITS - q.max(1).leading_zeros());
+    assert!(
+        value.bit_len() <= element_bits + index_bits + q_bits,
+        "Fig. 8 invariant: inner product of {} bits exceeds the \
+         p_x + p_y + log2(q) bound ({} + {} + {})",
+        value.bit_len(),
+        element_bits,
+        index_bits,
+        q_bits
+    );
+}
+
+/// GU carry bound (Eq. 2, Fig. 7c): the carry selected into each L-bit
+/// section must stay inside the precomputed carry-in domain — with 2L-bit
+/// aligned partial sums that domain is exactly {0, 1}.
+pub fn check_carry_bound(carry: u64, carry_domain: u64) {
+    if !enabled() {
+        return;
+    }
+    assert!(
+        carry < carry_domain,
+        "Eq. 2 invariant: carry {carry} escapes the precomputed domain {carry_domain}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::converter::generate_patterns;
+
+    #[test]
+    fn generated_patterns_satisfy_completeness() {
+        let xs: Vec<Nat> = [3u64, 5, 7, 9].iter().map(|&v| Nat::from(v)).collect();
+        let p = generate_patterns(&xs, 8);
+        check_patterns(&p, &xs);
+    }
+
+    #[test]
+    fn ipu_bound_accepts_the_maximum() {
+        // q = 4 elements of 8 bits each, 8-bit indexes: max product
+        // 4·(2^8−1)·(2^8−1) needs 18 bits ≤ 8 + 8 + 3.
+        let v = Nat::from(4u64 * 255 * 255);
+        check_ipu_bound(&v, 4, 8, 8);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "paranoid"))]
+    #[should_panic(expected = "bound")]
+    fn ipu_bound_rejects_overwide_values() {
+        check_ipu_bound(&Nat::power_of_two(20), 4, 8, 8);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "paranoid"))]
+    #[should_panic(expected = "escapes")]
+    fn carry_bound_rejects_domain_escape() {
+        check_carry_bound(2, 2);
+    }
+}

@@ -12,7 +12,8 @@ use crate::bops::BopsTally;
 use crate::converter::Patterns;
 use apc_bignum::Nat;
 
-/// Output of one IPU pass: an inner-product partial sum plus accounting.
+/// Output of one IPU pass (BIPS stage 3, Fig. 9c): an inner-product
+/// partial sum plus accounting.
 #[derive(Debug, Clone)]
 pub struct IpuOutput {
     /// The inner product Σᵢ xᵢ·yᵢ.
@@ -24,9 +25,9 @@ pub struct IpuOutput {
     pub cycles: u64,
 }
 
-/// Computes the inner product x⃗·y⃗ by BIPS, given pre-generated patterns
-/// of x⃗ and the index limbs y⃗ (one per pattern input, each at most
-/// `index_bits` wide).
+/// Computes the inner product x⃗·y⃗ by BIPS (Fig. 8), given pre-generated
+/// patterns of x⃗ and the index limbs y⃗ (one per pattern input, each at
+/// most `index_bits` wide).
 ///
 /// ```
 /// use apc_bignum::Nat;
@@ -46,7 +47,7 @@ pub struct IpuOutput {
 /// Panics if `ys.len()` does not match the pattern input count or an index
 /// exceeds `index_bits`.
 pub fn bit_indexed_inner_product(patterns: &Patterns, ys: &[Nat], index_bits: u64) -> IpuOutput {
-    let q = patterns.len().trailing_zeros() as usize;
+    let q = crate::cast::usize_from(u64::from(patterns.len().trailing_zeros()));
     assert_eq!(ys.len(), q, "one index flow per pattern input");
     for (i, y) in ys.iter().enumerate() {
         assert!(
@@ -79,6 +80,7 @@ pub fn bit_indexed_inner_product(patterns: &Patterns, ys: &[Nat], index_bits: u6
         tally.weighted_gather += selected.bit_len().max(1);
         acc = &acc + &selected.shl_bits(t);
     }
+    crate::invariants::check_ipu_bound(&acc, q, patterns.element_bits(), index_bits);
     IpuOutput {
         value: acc,
         tally,

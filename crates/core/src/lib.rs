@@ -43,6 +43,7 @@
 
 pub mod accelerator;
 pub mod area;
+mod cast;
 pub mod bitflow;
 pub mod bitserial;
 pub mod bops;
@@ -50,6 +51,7 @@ pub mod config;
 pub mod controller;
 pub mod converter;
 pub mod gu;
+pub mod invariants;
 pub mod ipu;
 pub mod ma;
 pub mod mpapca;

@@ -14,7 +14,7 @@ use crate::bitflow::Bitflow;
 use crate::config::ArchConfig;
 use apc_bignum::Nat;
 
-/// One bus block: q flows of L bits each.
+/// One bus block (§V-B3): q flows of L bits each.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// The q flows (limb values), least significant first.
@@ -22,13 +22,14 @@ pub struct Block {
 }
 
 impl Block {
-    /// Cycles to consume the block (one bit of each flow per cycle).
+    /// Cycles to consume the block — one bit of each flow per cycle
+    /// (§V-B3).
     pub fn cycles(&self) -> u64 {
         self.flows.first().map_or(0, Bitflow::len)
     }
 }
 
-/// Packetizes an operand into bus blocks of q flows × L bits.
+/// Packetizes an operand into bus blocks of q flows × L bits (§V-B3).
 ///
 /// ```
 /// use apc_bignum::Nat;
@@ -42,7 +43,7 @@ impl Block {
 /// ```
 pub fn packetize(x: &Nat, config: &ArchConfig) -> Vec<Block> {
     let l = u64::from(config.limb_bits);
-    let q = config.q as usize;
+    let q = crate::cast::usize_from(u64::from(config.q));
     let limbs = crate::transform::to_limb_vector(x, config.limb_bits);
     limbs
         .chunks(q)
@@ -59,7 +60,7 @@ pub fn packetize(x: &Nat, config: &ArchConfig) -> Vec<Block> {
         .collect()
 }
 
-/// Reassembles packetized blocks back into the operand value.
+/// Reassembles packetized blocks (§V-B3) back into the operand value.
 pub fn reassemble(blocks: &[Block], config: &ArchConfig) -> Nat {
     let l = u64::from(config.limb_bits);
     let mut limbs = Vec::new();
@@ -78,7 +79,8 @@ pub fn bus_blocks(bits: u64, config: &ArchConfig) -> u64 {
     bits.div_ceil(block_bits).max(1)
 }
 
-/// Cache lines touched in the LLC for an operand (64-byte lines).
+/// Cache lines touched in the LLC for an operand — 64-byte lines, per the
+/// §V-B3 prefetch path.
 pub fn llc_lines(bits: u64) -> u64 {
     bits.div_ceil(512).max(1)
 }

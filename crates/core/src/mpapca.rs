@@ -25,7 +25,8 @@ use std::cell::RefCell;
 ///
 /// Below `toom2` the hardware multiplies monolithically (no software
 /// decomposition at all). The defaults scale the paper's narrative: native
-/// coverage up to 35,904 bits, Toom ranges above, SSA at the top.
+/// coverage up to 35,904 bits, Toom ranges above, SSA at the top
+/// (§VII-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MpapcaThresholds {
     /// Below this: monolithic hardware multiplication.
@@ -52,7 +53,7 @@ impl Default for MpapcaThresholds {
     }
 }
 
-/// Which multiplication routine MPApca picks for a given size.
+/// Which multiplication routine MPApca picks for a given size (§VII-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MpapcaAlgorithm {
     /// Monolithic hardware multiplication (no decomposition).
@@ -70,7 +71,7 @@ pub enum MpapcaAlgorithm {
 }
 
 impl MpapcaThresholds {
-    /// Selects the algorithm for `bits`-bit balanced operands.
+    /// Selects the algorithm for `bits`-bit balanced operands (§VII-B).
     pub fn select(&self, bits: u64) -> MpapcaAlgorithm {
         if bits <= self.toom2 {
             MpapcaAlgorithm::Monolithic
@@ -88,7 +89,7 @@ impl MpapcaThresholds {
     }
 }
 
-/// An MPApca device handle: functional results plus accumulated
+/// An MPApca device handle (§V-C): functional results plus accumulated
 /// cycle/energy statistics.
 #[derive(Debug)]
 pub struct Device {
@@ -98,7 +99,7 @@ pub struct Device {
 }
 
 impl Device {
-    /// A device with the given configuration and default thresholds.
+    /// A device with the given configuration (§VII-A) and default thresholds.
     pub fn new(config: ArchConfig) -> Device {
         Device {
             config,
@@ -107,43 +108,43 @@ impl Device {
         }
     }
 
-    /// A device with the paper's configuration.
+    /// A device with the paper's configuration (§VII-A).
     pub fn new_default() -> Device {
         Device::new(ArchConfig::default())
     }
 
-    /// Overrides the fast-algorithm thresholds (for ablations).
+    /// Overrides the fast-algorithm thresholds (for §VII-B ablations).
     pub fn with_thresholds(mut self, thresholds: MpapcaThresholds) -> Device {
         self.thresholds = thresholds;
         self
     }
 
-    /// The architecture configuration.
+    /// The architecture configuration (§VII-A).
     pub fn config(&self) -> &ArchConfig {
         &self.config
     }
 
-    /// The threshold table in use.
+    /// The threshold table in use (§VII-B).
     pub fn thresholds(&self) -> &MpapcaThresholds {
         &self.thresholds
     }
 
-    /// A snapshot of the accumulated statistics.
+    /// A snapshot of the accumulated statistics (§VII-B accounting).
     pub fn stats(&self) -> DeviceStats {
         self.stats.borrow().clone()
     }
 
-    /// Clears the accumulated statistics.
+    /// Clears the accumulated statistics (§VII-B accounting).
     pub fn reset_stats(&self) {
         *self.stats.borrow_mut() = DeviceStats::default();
     }
 
-    /// Seconds of device time accumulated so far.
+    /// Seconds of device time accumulated so far (§VII-A clock).
     pub fn seconds(&self) -> f64 {
         self.stats.borrow().seconds(&self.config)
     }
 
-    /// Energy in joules accumulated so far.
+    /// Energy in joules accumulated so far (§VII-A power model).
     pub fn energy_joules(&self) -> f64 {
         self.stats.borrow().energy_joules(&self.config)
     }
@@ -168,6 +169,7 @@ impl Device {
     ///
     /// Panics if `b > a`.
     pub fn sub(&self, a: &Nat, b: &Nat) -> Nat {
+        // apc-lint: allow(L2) -- documented operator panic (see # Panics above)
         let r = a.checked_sub(b).expect("device subtraction underflow");
         let cycles = self.linear_cycles(a.bit_len());
         self.record(OpClass::AddSub, cycles, (a.bit_len() + b.bit_len() + r.bit_len()) / 8);
@@ -181,13 +183,13 @@ impl Device {
         a.shl_bits(bits)
     }
 
-    /// Bit-shift right, same cost model as [`Device::shl`].
+    /// Bit-shift right, same cost model as [`Device::shl`] (§V-C).
     pub fn shr(&self, a: &Nat, bits: u64) -> Nat {
         self.record(OpClass::Shift, 1, 0);
         a.shr_bits(bits)
     }
 
-    /// Long multiplication with runtime algorithm selection.
+    /// Long multiplication with runtime algorithm selection (§V-C, §VII-B).
     pub fn mul(&self, a: &Nat, b: &Nat) -> Nat {
         let cycles = self.mul_cycles(a.bit_len(), b.bit_len());
         let r = a * b;
@@ -199,13 +201,13 @@ impl Device {
         r
     }
 
-    /// Squaring (same cost model as multiplication).
+    /// Squaring — same cost model as multiplication (§V-C).
     pub fn square(&self, a: &Nat) -> Nat {
         self.mul(a, &a.clone())
     }
 
-    /// Arbitrary-precision inner product — the device's native primitive:
-    /// all element products run as one batch across the PE array.
+    /// Arbitrary-precision inner product — the device's native primitive
+    /// (§V-C): all element products run as one batch across the PE array.
     pub fn inner_product(&self, xs: &[Nat], ys: &[Nat]) -> Nat {
         assert_eq!(xs.len(), ys.len(), "inner product arity mismatch");
         let mut acc = Nat::zero();
@@ -276,8 +278,8 @@ impl Device {
     // High-level operators (§V-C: division, square root, Montgomery)
     // ------------------------------------------------------------------
 
-    /// Division with remainder, by Newton–Raphson reciprocal iteration
-    /// composed from device multiplications.
+    /// Division with remainder (§V-C), by Newton–Raphson reciprocal
+    /// iteration composed from device multiplications.
     ///
     /// # Panics
     ///
@@ -293,8 +295,8 @@ impl Device {
         (q, r)
     }
 
-    /// Integer square root with remainder (Karatsuba square root over
-    /// device multiplications).
+    /// Integer square root with remainder (§V-C): Karatsuba square root
+    /// over device multiplications.
     pub fn sqrt_rem(&self, a: &Nat) -> (Nat, Nat) {
         let (s, r) = a.sqrt_rem();
         let cycles = self.sqrt_cycles(a.bit_len());
@@ -343,7 +345,8 @@ impl Device {
     }
 
     /// Cycles for a multiplication of `na × nb` bits under MPApca's
-    /// algorithm selection (recursive over the fast-algorithm ladder).
+    /// algorithm selection (recursive over the fast-algorithm ladder,
+    /// §VII-B).
     pub fn mul_cycles(&self, na: u64, nb: u64) -> u64 {
         let n = na.max(nb).max(1);
         // Unbalanced operands: block the long one by the short one.

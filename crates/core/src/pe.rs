@@ -14,7 +14,7 @@ use crate::gu::{cycles_carry_parallel, gather_carry_parallel};
 use crate::ipu::bit_indexed_inner_product;
 use apc_bignum::Nat;
 
-/// Result of one PE pass.
+/// Result of one PE pass (Fig. 9a).
 #[derive(Debug, Clone)]
 pub struct PeResult {
     /// The gathered flow: Σₖ ipu_k · 2^(k·L).
@@ -27,7 +27,7 @@ pub struct PeResult {
     pub cycles: u64,
 }
 
-/// Runs one PE pass.
+/// Runs one PE pass (Fig. 9a).
 ///
 /// * `x_block` — the q pattern limbs (each ≤ `limb_bits` wide).
 /// * `ys_per_ipu` — one q-limb index tuple per active IPU; IPU `k`'s

@@ -1,9 +1,9 @@
-//! Cycle, energy and operation accounting for the device model.
+//! Cycle, energy and operation accounting for the device model (§VII-B).
 
 use crate::bops::BopsTally;
 use crate::config::ArchConfig;
 
-/// Operation classes tracked by the runtime (matching the Figure 2
+/// Operation classes tracked by the runtime (matching the Fig. 2
 /// breakdown categories).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
@@ -24,7 +24,7 @@ pub enum OpClass {
 }
 
 impl OpClass {
-    /// All classes, for iteration in reports.
+    /// All classes, for iteration in reports (Fig. 2 categories).
     pub const ALL: [OpClass; 7] = [
         OpClass::Mul,
         OpClass::AddSub,
@@ -35,7 +35,7 @@ impl OpClass {
         OpClass::Other,
     ];
 
-    /// Stable display name.
+    /// Stable display name (Fig. 2 labels).
     pub fn name(self) -> &'static str {
         match self {
             OpClass::Mul => "Multiply",
@@ -61,7 +61,7 @@ impl OpClass {
     }
 }
 
-/// Accumulated device statistics.
+/// Accumulated device statistics (§VII-B accounting).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceStats {
     /// Total device cycles.
@@ -78,7 +78,7 @@ pub struct DeviceStats {
 }
 
 impl DeviceStats {
-    /// Records an operation.
+    /// Records an operation (§VII-B accounting).
     pub fn record(&mut self, class: OpClass, cycles: u64, llc_bytes: u64) {
         self.cycles += cycles;
         self.cycles_by_class[class.index()] += cycles;
@@ -86,17 +86,17 @@ impl DeviceStats {
         self.llc_bytes += llc_bytes;
     }
 
-    /// Cycles attributed to one class.
+    /// Cycles attributed to one class (Fig. 2 breakdown).
     pub fn cycles_for(&self, class: OpClass) -> u64 {
         self.cycles_by_class[class.index()]
     }
 
-    /// Operation count for one class.
+    /// Operation count for one class (Fig. 2 breakdown).
     pub fn ops_for(&self, class: OpClass) -> u64 {
         self.ops_by_class[class.index()]
     }
 
-    /// Wall-clock seconds at the configured clock.
+    /// Wall-clock seconds at the configured clock (§VII-A).
     pub fn seconds(&self, config: &ArchConfig) -> f64 {
         self.cycles as f64 * config.cycle_seconds()
     }
@@ -109,7 +109,7 @@ impl DeviceStats {
         self.seconds(config) * config.power_w + self.llc_bytes as f64 * LLC_PJ_PER_BYTE * 1e-12
     }
 
-    /// Merges another stats block into this one.
+    /// Merges another stats block into this one (§VII-B accounting).
     pub fn merge(&mut self, other: &DeviceStats) {
         self.cycles += other.cycles;
         for i in 0..7 {

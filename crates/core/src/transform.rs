@@ -8,15 +8,17 @@
 
 use apc_bignum::Nat;
 
-/// Splits a natural into its little-endian L-bit limb vector (at least one
-/// limb, so zero becomes `[0]`).
+/// Splits a natural into its little-endian L-bit limb vector for the Eq. 1
+/// convolution (at least one limb, so zero becomes `[0]`).
 pub fn to_limb_vector(x: &Nat, limb_bits: u32) -> Vec<Nat> {
     let count = x.bit_len().div_ceil(u64::from(limb_bits)).max(1);
-    x.to_chunks(u64::from(limb_bits), count as usize)
+    let limbs = x.to_chunks(u64::from(limb_bits), crate::cast::usize_from(count));
+    apc_bignum::invariants::check_chunk_widths(&limbs, u64::from(limb_bits));
+    limbs
 }
 
-/// Computes every inner product IP_t of the transformation — the values
-/// the bit-indexed IPUs produce.
+/// Computes every inner product IP_t of the Eq. 1 transformation — the
+/// values the bit-indexed IPUs produce.
 ///
 /// ```
 /// use apc_bignum::Nat;
@@ -50,7 +52,7 @@ pub fn convolve(xs: &[Nat], ys: &[Nat]) -> Vec<Nat> {
 
 /// Gathers the inner products back into the product:
 /// Σ_t IP_t · 2^(t·L). This is the job the GUs and the Adder Tree perform
-/// in hardware.
+/// in hardware (Fig. 7).
 pub fn recompose(ips: &[Nat], limb_bits: u32) -> Nat {
     Nat::from_chunks(ips, u64::from(limb_bits))
 }
@@ -64,11 +66,11 @@ pub fn reversed_x_slice(xs: &[Nat], t: usize, j0: usize, q: usize) -> Vec<Nat> {
     (0..q)
         .map(|i| {
             let idx = t as i64 - j0 as i64 - i as i64;
-            if idx >= 0 && (idx as usize) < xs.len() {
-                xs[idx as usize].clone()
-            } else {
-                Nat::zero()
-            }
+            usize::try_from(idx)
+                .ok()
+                .and_then(|u| xs.get(u))
+                .cloned()
+                .unwrap_or_else(Nat::zero)
         })
         .collect()
 }

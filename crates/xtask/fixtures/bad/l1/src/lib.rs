@@ -1,0 +1,6 @@
+//! A crate root missing both mandatory attributes: L1 must fire twice.
+
+/// Documented, panic-free — only L1 applies here.
+pub fn seven() -> u64 {
+    7
+}

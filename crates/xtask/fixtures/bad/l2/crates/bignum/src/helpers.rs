@@ -1,0 +1,16 @@
+//! Panicking library paths: L2 must catch all three forms.
+
+/// Unchecked unwrap.
+pub fn div(a: u64, b: u64) -> u64 {
+    a.checked_div(b).unwrap()
+}
+
+/// Unchecked expect.
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().expect("nonempty")
+}
+
+/// Explicit panic.
+pub fn boom() {
+    panic!("no");
+}

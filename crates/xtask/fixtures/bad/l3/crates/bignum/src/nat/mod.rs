@@ -1,0 +1,11 @@
+//! Bare narrowing casts in a kernel path: L3 must fire per line.
+
+/// Silently truncates.
+pub fn lo(x: u64) -> u32 {
+    x as u32
+}
+
+/// Platform-width truncation.
+pub fn idx(x: u64) -> usize {
+    x as usize
+}

@@ -1,0 +1,8 @@
+//! A model module whose docs never cite the paper.
+
+/// Documented, but names no section, equation or figure.
+pub fn mystery(x: u64) -> u64 {
+    x.wrapping_add(1)
+}
+
+pub struct Opaque;

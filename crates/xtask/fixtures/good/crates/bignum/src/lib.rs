@@ -1,0 +1,6 @@
+//! Fixture bignum crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nat;

@@ -1,0 +1,12 @@
+//! Fixture kernel file: narrowing stays explicit (L3's good side).
+
+/// Explicit, checked narrowing — the preferred form.
+pub fn low_word(x: u64) -> u32 {
+    u32::try_from(x & 0xFFFF_FFFF).unwrap_or(0)
+}
+
+/// A justified bare cast, silenced by the escape hatch.
+pub fn masked(x: u64) -> u32 {
+    // apc-lint: allow(L3) -- fixture: value masked to 32 bits on this line
+    (x & 0xFFFF_FFFF) as u32
+}

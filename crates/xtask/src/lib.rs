@@ -1,0 +1,171 @@
+//! # apc-lint — the workspace's repo-specific static-analysis pass
+//!
+//! A zero-dependency (std-only) lint engine encoding the bit-exactness
+//! contracts this reproduction depends on. It is wired into tier-1 via
+//! `tests/lint_gate.rs`, so `cargo test` fails on violations; it can also
+//! be run directly:
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! ## Rules
+//!
+//! | id | check |
+//! |----|-------|
+//! | L1 | every library crate root carries `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
+//! | L2 | no `.unwrap()` / `.expect(..)` / `panic!` in non-test library code |
+//! | L3 | no bare `as` narrowing casts in `crates/bignum/src/nat/**` and `crates/core/src/**` |
+//! | L4 | every `crates/core` public item cites a paper anchor (`§`, `Eq.`, `Fig.`) |
+//! | L5 | Cargo.toml hygiene: workspace-inherited metadata, `lints.workspace`, no path deps escaping the workspace |
+//!
+//! Every rule has an escape hatch:
+//!
+//! ```text
+//! // apc-lint: allow(L2) -- divisor is checked nonzero three lines up
+//! ```
+//!
+//! placed either at the end of the offending line or on the line directly
+//! above it. The `-- reason` part is mandatory; a directive without a
+//! reason (or naming an unknown rule) is itself reported as `L0`.
+//!
+//! See `LINTS.md` at the workspace root for the full rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Machine-readable identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Malformed `apc-lint:` directive (meta-rule).
+    L0,
+    /// Library crate roots must forbid unsafe code and warn on missing docs.
+    L1,
+    /// No `.unwrap()` / `.expect(..)` / `panic!` in non-test library code.
+    L2,
+    /// No bare `as` narrowing casts in the arithmetic kernels.
+    L3,
+    /// `crates/core` public items must cite a paper anchor.
+    L4,
+    /// Cargo.toml hygiene.
+    L5,
+}
+
+impl RuleId {
+    /// Parses `"L2"` → `RuleId::L2`.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim() {
+            "L0" => Some(RuleId::L0),
+            "L1" => Some(RuleId::L1),
+            "L2" => Some(RuleId::L2),
+            "L3" => Some(RuleId::L3),
+            "L4" => Some(RuleId::L4),
+            "L5" => Some(RuleId::L5),
+            _ => None,
+        }
+    }
+
+    /// All enforceable rules (excludes the `L0` meta-rule).
+    pub fn all() -> [RuleId; 5] {
+        [RuleId::L1, RuleId::L2, RuleId::L3, RuleId::L4, RuleId::L5]
+    }
+
+    /// One-line description, used by `xtask rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::L0 => "malformed `apc-lint:` directive",
+            RuleId::L1 => {
+                "library crate roots carry #![forbid(unsafe_code)] and #![warn(missing_docs)]"
+            }
+            RuleId::L2 => "no .unwrap()/.expect()/panic! in non-test library code",
+            RuleId::L3 => {
+                "no bare `as` narrowing casts in crates/bignum/src/nat/** or crates/core/src/**"
+            }
+            RuleId::L4 => "crates/core public items cite a paper anchor (§, Eq., Fig.)",
+            RuleId::L5 => "Cargo.toml hygiene: inherited metadata, workspace lints, no escaping path deps",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Path of the offending file, relative to the linted root.
+    pub file: PathBuf,
+    /// 1-based line number (0 when the finding is file-level).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Failure of the lint driver itself (I/O, not a finding).
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "apc-lint: {}", self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lints the tree rooted at `root` (a workspace checkout or a fixture
+/// mirroring its layout) and returns all findings, sorted by file and
+/// line.
+pub fn lint_tree(root: &Path) -> Result<Vec<Violation>, LintError> {
+    let sources = scan::collect_sources(root)?;
+    let manifests = scan::collect_manifests(root)?;
+    let mut violations = Vec::new();
+    for source in &sources {
+        violations.extend(source.directive_errors());
+        violations.extend(rules::l1_lib_root_attributes(source));
+        violations.extend(rules::l2_no_panic_paths(source));
+        violations.extend(rules::l3_no_narrowing_casts(source));
+        violations.extend(rules::l4_paper_anchors(source));
+    }
+    for manifest in &manifests {
+        violations.extend(manifest.directive_errors());
+        violations.extend(rules::l5_manifest_hygiene(manifest, root));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(violations)
+}
+
+/// Returns the workspace root this binary was compiled in (two levels up
+/// from `crates/xtask`).
+pub fn default_workspace_root() -> PathBuf {
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest_dir
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest_dir)
+}

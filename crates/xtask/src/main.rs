@@ -1,0 +1,50 @@
+//! `cargo run -p xtask -- <command>` — workspace task driver.
+//!
+//! Commands:
+//!
+//! - `lint [path]` — run apc-lint over the workspace (or an explicit
+//!   root); exits nonzero when violations are found.
+//! - `rules` — list the lint rules.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.get(1).map(PathBuf::from)),
+        Some("rules") => {
+            for rule in xtask::RuleId::all() {
+                println!("{rule}: {}", rule.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <lint [path] | rules>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(root: Option<PathBuf>) -> ExitCode {
+    let root = root.unwrap_or_else(xtask::default_workspace_root);
+    match xtask::lint_tree(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("apc-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("apc-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Source discovery and the masking scanner.
+//!
+//! The rules never look at raw text directly for *code* checks: each
+//! `.rs` file is run through a small lexer that blanks out comments and
+//! string/char literal contents, so a `panic!` inside a doc example or an
+//! `as u32` inside a string can never trip a rule. Comment text is kept
+//! separately so `apc-lint: allow(..)` directives and doc anchors can be
+//! read back out.
+
+use crate::{LintError, RuleId, Violation};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "fixtures", "node_modules"];
+
+/// One scanned `.rs` file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the linted root, with `/` separators.
+    pub rel_path: String,
+    /// Raw line text (no trailing newline).
+    pub raw_lines: Vec<String>,
+    /// Line text with comments and literal contents blanked.
+    pub code_lines: Vec<String>,
+    /// Comment text per line (everything that was inside a comment).
+    pub comment_lines: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]` module.
+    pub test_lines: Vec<bool>,
+    /// Allow directives: line number (1-based) → rules allowed there.
+    pub allows: BTreeMap<usize, Vec<RuleId>>,
+    /// Malformed directives found while scanning.
+    pub bad_directives: Vec<(usize, String)>,
+}
+
+/// One scanned `Cargo.toml`.
+#[derive(Debug)]
+pub struct ManifestFile {
+    /// Path relative to the linted root, with `/` separators.
+    pub rel_path: String,
+    /// Raw line text.
+    pub raw_lines: Vec<String>,
+    /// Line text with `#` comments removed.
+    pub code_lines: Vec<String>,
+    /// Allow directives: line number (1-based) → rules allowed there.
+    pub allows: BTreeMap<usize, Vec<RuleId>>,
+    /// Malformed directives found while scanning.
+    pub bad_directives: Vec<(usize, String)>,
+}
+
+impl SourceFile {
+    /// Whether `rule` is allowed on `line` (directive on the line itself
+    /// or on the line directly above).
+    pub fn allowed(&self, rule: RuleId, line: usize) -> bool {
+        has_allow(&self.allows, rule, line)
+    }
+
+    /// Violations for malformed directives.
+    pub fn directive_errors(&self) -> Vec<Violation> {
+        directive_errors(&self.rel_path, &self.bad_directives)
+    }
+}
+
+impl ManifestFile {
+    /// Whether `rule` is allowed on `line`.
+    pub fn allowed(&self, rule: RuleId, line: usize) -> bool {
+        has_allow(&self.allows, rule, line)
+    }
+
+    /// Violations for malformed directives.
+    pub fn directive_errors(&self) -> Vec<Violation> {
+        directive_errors(&self.rel_path, &self.bad_directives)
+    }
+}
+
+fn has_allow(allows: &BTreeMap<usize, Vec<RuleId>>, rule: RuleId, line: usize) -> bool {
+    let on_line = allows.get(&line).is_some_and(|r| r.contains(&rule));
+    let above = line > 1 && allows.get(&(line - 1)).is_some_and(|r| r.contains(&rule));
+    on_line || above
+}
+
+fn directive_errors(rel_path: &str, bad: &[(usize, String)]) -> Vec<Violation> {
+    bad.iter()
+        .map(|(line, msg)| Violation {
+            rule: RuleId::L0,
+            file: PathBuf::from(rel_path),
+            line: *line,
+            message: msg.clone(),
+        })
+        .collect()
+}
+
+/// Recursively collects and scans every `.rs` file under `root`.
+pub fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, LintError> {
+    let mut files = Vec::new();
+    walk(root, root, &mut |abs, rel| {
+        if rel.ends_with(".rs") {
+            let text = fs::read_to_string(abs)
+                .map_err(|e| LintError(format!("reading {}: {e}", abs.display())))?;
+            files.push(scan_rust(rel, &text));
+        }
+        Ok(())
+    })?;
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+/// Recursively collects and scans every `Cargo.toml` under `root`.
+pub fn collect_manifests(root: &Path) -> Result<Vec<ManifestFile>, LintError> {
+    let mut files = Vec::new();
+    walk(root, root, &mut |abs, rel| {
+        if rel.ends_with("Cargo.toml") {
+            let text = fs::read_to_string(abs)
+                .map_err(|e| LintError(format!("reading {}: {e}", abs.display())))?;
+            files.push(scan_toml(rel, &text));
+        }
+        Ok(())
+    })?;
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    f: &mut impl FnMut(&Path, &str) -> Result<(), LintError>,
+) -> Result<(), LintError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| LintError(format!("reading {}: {e}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError(format!("walking {}: {e}", dir.display())))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, f)?;
+        } else {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| LintError(format!("relativizing {}: {e}", path.display())))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            f(&path, &rel)?;
+        }
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LexState {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Lexes Rust source into per-line code and comment masks, then derives
+/// test regions and allow directives.
+pub fn scan_rust(rel_path: &str, text: &str) -> SourceFile {
+    let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let mut code_lines: Vec<String> = Vec::with_capacity(raw_lines.len());
+    let mut comment_lines: Vec<String> = Vec::with_capacity(raw_lines.len());
+
+    let mut state = LexState::Normal;
+    for raw in &raw_lines {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        // A line comment never survives past its line.
+        if state == LexState::LineComment {
+            state = LexState::Normal;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                LexState::Normal => match c {
+                    '/' if next == Some('/') => {
+                        state = LexState::LineComment;
+                        comment.push_str(&raw[byte_index(raw, i)..]);
+                        break;
+                    }
+                    '/' if next == Some('*') => {
+                        state = LexState::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = LexState::Str;
+                        code.push('"');
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string r"..." / r#"..."#.
+                        let mut j = i + 1;
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            state = LexState::RawStr(hashes);
+                            code.push('r');
+                            for _ in 0..hashes {
+                                code.push('#');
+                            }
+                            code.push('"');
+                            i = j + 1;
+                            continue;
+                        }
+                        code.push(c);
+                    }
+                    '\'' => {
+                        // Distinguish lifetimes ('a) from char literals ('x').
+                        let is_lifetime = next.is_some_and(|n| n.is_alphanumeric() || n == '_')
+                            && chars.get(i + 2) != Some(&'\'');
+                        if is_lifetime {
+                            code.push(c);
+                        } else {
+                            state = LexState::Char;
+                            code.push('\'');
+                        }
+                    }
+                    _ => code.push(c),
+                },
+                LexState::LineComment => unreachable_state(&mut code),
+                LexState::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        comment.push(' ');
+                        if depth == 1 {
+                            state = LexState::Normal;
+                        } else {
+                            state = LexState::BlockComment(depth - 1);
+                        }
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = LexState::BlockComment(depth + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    comment.push(c);
+                    code.push(' ');
+                }
+                LexState::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = LexState::Normal;
+                        code.push('"');
+                    }
+                    _ => code.push(' '),
+                },
+                LexState::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut j = i + 1;
+                        let mut seen = 0u32;
+                        while seen < hashes && chars.get(j) == Some(&'#') {
+                            seen += 1;
+                            j += 1;
+                        }
+                        if seen == hashes {
+                            state = LexState::Normal;
+                            code.push('"');
+                            for _ in 0..hashes {
+                                code.push('#');
+                            }
+                            i = j;
+                            continue;
+                        }
+                    }
+                    code.push(' ');
+                }
+                LexState::Char => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '\'' => {
+                        state = LexState::Normal;
+                        code.push('\'');
+                    }
+                    _ => code.push(' '),
+                },
+            }
+            i += 1;
+        }
+        // Strings may span lines; chars cannot.
+        if state == LexState::Char {
+            state = LexState::Normal;
+        }
+        code_lines.push(code);
+        comment_lines.push(comment);
+    }
+
+    let test_lines = mark_test_regions(&code_lines);
+    let (allows, bad_directives) = parse_directives(&comment_lines);
+
+    SourceFile {
+        rel_path: rel_path.to_string(),
+        raw_lines,
+        code_lines,
+        comment_lines,
+        test_lines,
+        allows,
+        bad_directives,
+    }
+}
+
+// Line comments are consumed whole at line start; the state machine never
+// steps a character inside one. Kept as a function so the match stays
+// exhaustive without a panicking arm (this file must pass its own L2).
+fn unreachable_state(_code: &mut String) {}
+
+/// Marks lines belonging to `#[cfg(test)]`-gated modules by brace
+/// matching on the code mask.
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code_lines.len()];
+    let mut i = 0usize;
+    while i < code_lines.len() {
+        let line = code_lines[i].trim();
+        if line.contains("#[cfg(test)]") {
+            // Find the opening brace of the gated item (usually `mod
+            // tests {` on the next line).
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < code_lines.len() {
+                let mut item_ended = false;
+                for c in code_lines[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        // A brace-less gated item (`#[cfg(test)] use ..;`)
+                        // ends at the first top-level semicolon.
+                        ';' if !opened && depth == 0 => item_ended = true,
+                        _ => {}
+                    }
+                }
+                mask[j] = true;
+                if (opened && depth <= 0) || item_ended {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Parses `apc-lint: allow(..) -- reason` directives out of comment text.
+fn parse_directives(
+    comment_lines: &[String],
+) -> (BTreeMap<usize, Vec<RuleId>>, Vec<(usize, String)>) {
+    let mut allows: BTreeMap<usize, Vec<RuleId>> = BTreeMap::new();
+    let mut bad: Vec<(usize, String)> = Vec::new();
+    for (idx, comment) in comment_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        // A directive must start the comment: `// apc-lint: ...` (one
+        // optional doc sigil `/` or `!` after the `//` is tolerated).
+        // Prose or code examples that merely *mention* `apc-lint:`
+        // deeper in a comment are not directives.
+        let body = comment
+            .trim_start()
+            .trim_start_matches('#')
+            .trim_start_matches('/')
+            .trim_start_matches(['/', '!'])
+            .trim_start();
+        let Some(rest) = body.strip_prefix("apc-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            bad.push((
+                line_no,
+                format!("directive must be `apc-lint: allow(<rule>) -- <reason>`, got `{rest}`"),
+            ));
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad.push((line_no, "unclosed `allow(` directive".to_string()));
+            continue;
+        };
+        let (list, tail) = args.split_at(close);
+        let tail = tail[1..].trim_start();
+        let mut ids = Vec::new();
+        let mut ok = true;
+        for part in list.split(',') {
+            match RuleId::parse(part) {
+                Some(id) if id != RuleId::L0 => ids.push(id),
+                _ => {
+                    bad.push((line_no, format!("unknown rule `{}` in allow()", part.trim())));
+                    ok = false;
+                }
+            }
+        }
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad.push((
+                line_no,
+                "allow() directive requires a `-- <reason>` justification".to_string(),
+            ));
+            ok = false;
+        }
+        if ok {
+            allows.entry(line_no).or_default().extend(ids);
+        }
+    }
+    (allows, bad)
+}
+
+/// Scans a `Cargo.toml`: strips `#` comments, captures directives.
+pub fn scan_toml(rel_path: &str, text: &str) -> ManifestFile {
+    let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let mut code_lines = Vec::with_capacity(raw_lines.len());
+    let mut comment_lines = Vec::with_capacity(raw_lines.len());
+    for raw in &raw_lines {
+        // TOML has no block comments; a `#` outside a basic string starts
+        // a comment. Our manifests never put `#` inside strings, so a
+        // simple split (quote-aware) suffices.
+        let mut in_str = false;
+        let mut split = raw.len();
+        for (bi, c) in raw.char_indices() {
+            match c {
+                '"' => in_str = !in_str,
+                '#' if !in_str => {
+                    split = bi;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        code_lines.push(raw[..split].to_string());
+        comment_lines.push(raw[split..].to_string());
+    }
+    let (allows, bad_directives) = parse_directives(&comment_lines);
+    ManifestFile {
+        rel_path: rel_path.to_string(),
+        raw_lines,
+        code_lines,
+        allows,
+        bad_directives,
+    }
+}
+
+fn byte_index(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = scan_rust("t.rs", "let x = \"panic!()\"; // real panic!()\nlet y = 1;\n");
+        assert!(!f.code_lines[0].contains("panic!"));
+        assert!(f.comment_lines[0].contains("panic!"));
+        assert_eq!(f.code_lines[1], "let y = 1;");
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = scan_rust("t.rs", "a /* x\n y */ b\n");
+        assert_eq!(f.code_lines[0].trim_end(), "a");
+        assert!(f.code_lines[1].contains('b'));
+        assert!(!f.code_lines[1].contains('y'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan_rust("t.rs", "let s = r#\"as u32\"#;\n");
+        assert!(!f.code_lines[0].contains("as u32"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = scan_rust("t.rs", "fn f<'a>(x: &'a str) { let c = 'x'; }\n");
+        assert!(f.code_lines[0].contains("'a"));
+        assert!(!f.code_lines[0].contains("'x'"));
+    }
+
+    #[test]
+    fn test_regions_are_masked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let f = scan_rust("t.rs", src);
+        assert_eq!(f.test_lines, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn directives_parse_and_reject() {
+        let src = "\
+// apc-lint: allow(L2) -- locally provable\nx.unwrap();\n\
+// apc-lint: allow(L9) -- nope\n// apc-lint: allow(L2)\n";
+        let f = scan_rust("t.rs", src);
+        assert!(f.allowed(RuleId::L2, 2));
+        assert_eq!(f.bad_directives.len(), 2);
+    }
+
+    #[test]
+    fn doc_comment_examples_do_not_leak_into_code() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\npub fn f() {}\n";
+        let f = scan_rust("t.rs", src);
+        assert!(f.code_lines[1].is_empty());
+        assert!(f.comment_lines[1].contains("unwrap"));
+    }
+}

@@ -1,0 +1,104 @@
+//! apc-lint self-tests: every rule must catch its bad fixture and accept
+//! the good one, and the CLI must exit 0/1 accordingly.
+//!
+//! The fixtures under `crates/xtask/fixtures/` are miniature workspace
+//! trees mirroring the real layout (the rules scope by relative path), so
+//! these tests pin the *behavior* of each rule, not just its plumbing.
+
+use std::path::PathBuf;
+use std::process::Command;
+use xtask::{lint_tree, RuleId};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Lints a bad fixture and asserts it yields exactly `expected` findings,
+/// all of `rule`.
+fn assert_only(name: &str, rule: RuleId, expected: usize) {
+    let v = lint_tree(&fixture(name)).expect("lint_tree runs on fixture");
+    assert_eq!(v.len(), expected, "{name}: {v:#?}");
+    assert!(v.iter().all(|f| f.rule == rule), "{name}: {v:#?}");
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let v = lint_tree(&fixture("good")).expect("lint_tree runs on fixture");
+    assert!(v.is_empty(), "expected a clean tree, got: {v:#?}");
+}
+
+#[test]
+fn l1_catches_missing_crate_root_attributes() {
+    assert_only("bad/l1", RuleId::L1, 2);
+}
+
+#[test]
+fn l2_catches_unwrap_expect_and_panic() {
+    assert_only("bad/l2", RuleId::L2, 3);
+}
+
+#[test]
+fn l3_catches_bare_narrowing_casts() {
+    assert_only("bad/l3", RuleId::L3, 2);
+}
+
+#[test]
+fn l4_catches_missing_paper_anchors() {
+    assert_only("bad/l4", RuleId::L4, 3);
+}
+
+#[test]
+fn l5_catches_manifest_rot() {
+    assert_only("bad/l5", RuleId::L5, 5);
+}
+
+#[test]
+fn l0_catches_malformed_directives() {
+    assert_only("bad/l0", RuleId::L0, 3);
+}
+
+#[test]
+fn violations_carry_file_line_and_rule_id() {
+    let v = lint_tree(&fixture("bad/l3")).expect("lint_tree runs on fixture");
+    let first = &v[0];
+    assert_eq!(first.file, PathBuf::from("crates/bignum/src/nat/mod.rs"));
+    assert!(first.line > 0, "findings are line-anchored");
+    let rendered = first.to_string();
+    assert!(rendered.contains("[L3]"), "machine-readable id in output: {rendered}");
+}
+
+#[test]
+fn cli_exits_zero_on_clean_and_one_per_bad_fixture() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let ok = Command::new(bin)
+        .arg("lint")
+        .arg(fixture("good"))
+        .output()
+        .expect("spawn xtask");
+    assert!(ok.status.success(), "good fixture must exit 0");
+    for bad in ["bad/l1", "bad/l2", "bad/l3", "bad/l4", "bad/l5", "bad/l0"] {
+        let out = Command::new(bin)
+            .arg("lint")
+            .arg(fixture(bad))
+            .output()
+            .expect("spawn xtask");
+        assert_eq!(out.status.code(), Some(1), "{bad} must exit 1");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("violation"), "{bad} reports its findings");
+    }
+}
+
+#[test]
+fn rules_subcommand_lists_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("rules")
+        .output()
+        .expect("spawn xtask");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in ["L1", "L2", "L3", "L4", "L5"] {
+        assert!(text.contains(rule), "missing {rule} in: {text}");
+    }
+}

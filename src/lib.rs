@@ -10,6 +10,9 @@
 //! - [`apc_baselines`] — CPU/GPU/accelerator cost models.
 //! - [`apc_apps`] — the four APC applications (Pi, Frac, zkcm, RSA).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use apc_apps;
 pub use apc_baselines;
 pub use apc_bignum;

@@ -1,0 +1,22 @@
+//! Tier-1 gate: the workspace must be apc-lint clean.
+//!
+//! This links the lint engine from `crates/xtask` directly (no subprocess,
+//! no network), so a plain `cargo test` fails whenever any rule in
+//! LINTS.md is violated — the same pass `cargo run -p xtask -- lint`
+//! runs by hand.
+
+#[test]
+fn workspace_is_apc_lint_clean() {
+    let root = xtask::default_workspace_root();
+    let violations = xtask::lint_tree(&root).expect("lint engine must run");
+    assert!(
+        violations.is_empty(),
+        "apc-lint found {} violation(s) — run `cargo run -p xtask -- lint`:\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking harness.
+//!
+//! The workspace builds with no crates.io access, so this crate provides
+//! just enough API for the `crates/bench` targets to compile and produce
+//! useful wall-clock numbers. Differences from real criterion:
+//!
+//! - no statistical analysis, outlier detection, or HTML reports — each
+//!   benchmark runs a short calibrated loop and prints mean ns/iter;
+//! - `cargo test` runs the bench binaries (they are `harness = false`);
+//!   to keep the test gate fast they **skip all measurement** unless the
+//!   `APC_BENCH=1` environment variable is set.
+//!
+//! Run `APC_BENCH=1 cargo bench` for real numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export point mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock measurement marker (the only measurement the stub has).
+    #[derive(Debug, Clone, Copy)]
+    pub struct WallTime;
+}
+
+use measurement::WallTime;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like criterion's two-part IDs.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An ID that is only the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, recording mean wall-clock time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = WallTime> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed iterations per benchmark (criterion: samples).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Accepted for API parity; the stub has no warm-up phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stub runs a fixed iteration count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters: self.sample_size.max(1),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters.max(1));
+        println!(
+            "bench {}/{}: {} iters, mean {} ns/iter",
+            self.name, id.name, bencher.iters, per_iter
+        );
+    }
+
+    /// Ends the group (no-op in the stub; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("default").bench_function(id, |b| f(b));
+        self
+    }
+}
+
+/// Whether bench execution is enabled (`APC_BENCH=1`).
+pub fn benches_enabled() -> bool {
+    std::env::var("APC_BENCH").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+///
+/// The generated main is a no-op unless `APC_BENCH=1`, so that `cargo
+/// test` (which executes `harness = false` bench binaries) stays fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::benches_enabled() {
+                println!("criterion stub: set APC_BENCH=1 to run benchmarks");
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,3 @@
+//! Numeric strategy helpers (range strategies live in [`crate::strategy`]
+//! as inherent `Range`/`RangeInclusive` impls; this module exists for path
+//! parity with real proptest).

@@ -1,0 +1,115 @@
+//! Minimal test-runner plumbing: configuration, case errors, and the
+//! deterministic per-case RNG.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the stub keeps CI latency down.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single property case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it is re-drawn, not failed.
+    Reject(String),
+    /// A `prop_assert*!` failed; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic per-case generator (xoshiro256**, seeded from the test
+/// name and case index so every run draws identical inputs).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// RNG for case `case` of the property named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut seed = h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        TestRng {
+            s: [
+                splitmix64(&mut seed),
+                splitmix64(&mut seed),
+                splitmix64(&mut seed),
+                splitmix64(&mut seed),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+}
+
+/// Kept for API parity with real proptest; the stub's `proptest!` macro
+/// drives cases directly and only uses this type in signatures.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    /// The active configuration.
+    pub config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Builds a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+}
