@@ -16,7 +16,7 @@ use apc_baselines::cpu as cpu_model;
 use apc_bignum::{Int, Nat};
 use cambricon_p::stats::OpClass;
 use cambricon_p::Device;
-use std::cell::RefCell;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Which engine executes the kernel operators.
@@ -37,11 +37,15 @@ struct ClassTally {
 }
 
 /// An execution session for the application benchmarks.
+///
+/// Accounting goes through a mutex (not a `RefCell`), so a session —
+/// like the [`Device`] it may wrap — stays `Sync` and can serve
+/// concurrent application threads.
 #[derive(Debug)]
 pub struct Session {
     kind: BackendKind,
     device: Option<Device>,
-    tallies: RefCell<[ClassTally; 7]>,
+    tallies: Mutex<[ClassTally; 7]>,
 }
 
 /// Summary of a session's accumulated work.
@@ -92,7 +96,7 @@ impl Session {
         Session {
             kind: BackendKind::Software,
             device: None,
-            tallies: RefCell::new(Default::default()),
+            tallies: Mutex::new(Default::default()),
         }
     }
 
@@ -106,7 +110,7 @@ impl Session {
         Session {
             kind: BackendKind::CambriconP,
             device: Some(device),
-            tallies: RefCell::new(Default::default()),
+            tallies: Mutex::new(Default::default()),
         }
     }
 
@@ -121,7 +125,9 @@ impl Session {
     }
 
     fn tally(&self, class: OpClass, wall: f64, modeled: f64) {
-        let mut t = self.tallies.borrow_mut();
+        // A poisoned lock only means another thread panicked mid-tally;
+        // the counters stay usable.
+        let mut t = self.tallies.lock().unwrap_or_else(PoisonError::into_inner);
         // apc-lint: allow(L2) -- OpClass::ALL enumerates every variant by construction
         let idx = OpClass::ALL.iter().position(|&c| c == class).expect("known class");
         t[idx].ops += 1;
@@ -281,7 +287,7 @@ impl Session {
 
     /// Produces the session report.
     pub fn report(&self) -> SessionReport {
-        let tallies = self.tallies.borrow();
+        let tallies = self.tallies.lock().unwrap_or_else(PoisonError::into_inner);
         let mut by_class = Vec::new();
         let mut wall = 0.0;
         let mut modeled = 0.0;
@@ -369,6 +375,12 @@ mod tests {
         assert!(r.device_seconds > 0.0);
         assert_eq!(r.seconds(), r.device_seconds);
         assert!(r.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn ablation_bips(c: &mut Criterion) {
     tune(&mut group);
     group.bench_function("bips", |b| {
         b.iter(|| {
-            let p = generate_patterns(&xs, 32);
+            let p = generate_patterns(&xs, 32).expect("valid inputs");
             bit_indexed_inner_product(&p, &ys, 32)
         })
     });
@@ -78,7 +78,7 @@ fn ablation_q(c: &mut Criterion) {
         let ys: Vec<Nat> = (0..q).map(|_| Nat::random_bits(32, &mut rng)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, _| {
             b.iter(|| {
-                let p = generate_patterns(&xs, 32);
+                let p = generate_patterns(&xs, 32).expect("valid inputs");
                 bit_indexed_inner_product(&p, &ys, 32)
             })
         });

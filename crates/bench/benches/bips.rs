@@ -26,7 +26,7 @@ fn bench_converter(c: &mut Criterion) {
     for q in [2usize, 4, 6] {
         let xs: Vec<Nat> = (0..q).map(|_| Nat::random_bits(32, &mut rng)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(q), &q, |bench, _| {
-            bench.iter(|| generate_patterns(&xs, 32))
+            bench.iter(|| generate_patterns(&xs, 32).expect("valid inputs"))
         });
     }
     group.finish();
@@ -37,7 +37,7 @@ fn bench_ipu(c: &mut Criterion) {
     let mut group = c.benchmark_group("ipu_inner_product");
     tune(&mut group);
     let xs: Vec<Nat> = (0..4).map(|_| Nat::random_bits(32, &mut rng)).collect();
-    let patterns = generate_patterns(&xs, 32);
+    let patterns = generate_patterns(&xs, 32).expect("valid inputs");
     for index_bits in [32u64, 128, 512] {
         let ys: Vec<Nat> = (0..4)
             .map(|_| Nat::random_bits(index_bits, &mut rng))

@@ -89,7 +89,7 @@ fn main() {
         let ys: Vec<Vec<Nat>> = (0..4)
             .map(|_| (0..4).map(|_| Nat::random_bits(32, &mut rng)).collect())
             .collect();
-        let functional = pe_pass(&x_block, &ys, 32).gathered;
+        let functional = pe_pass(&x_block, &ys, 32).expect("valid inputs").gathered;
         let clocked = clocked_pe_pass(&x_block, &ys, 32);
         t.check("clocked PE vs functional PE", clocked == functional);
     }

@@ -18,7 +18,7 @@ fn measured_lambda(q: u32, p_bits: u64, trials: u32, rng: &mut StdRng) -> f64 {
     for _ in 0..trials {
         let xs: Vec<Nat> = (0..q).map(|_| Nat::random_bits(p_bits, rng)).collect();
         let ys: Vec<Nat> = (0..q).map(|_| Nat::random_bits(p_bits, rng)).collect();
-        let patterns = generate_patterns(&xs, p_bits);
+        let patterns = generate_patterns(&xs, p_bits).expect("valid inputs");
         let out = bit_indexed_inner_product(&patterns, &ys, p_bits);
         total.merge(patterns.tally());
         total.merge(&out.tally);

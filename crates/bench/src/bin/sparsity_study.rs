@@ -40,7 +40,7 @@ fn main() {
             let ys: Vec<Nat> = (0..4)
                 .map(|_| random_with_density(density, &mut rng))
                 .collect();
-            let p = generate_patterns(&xs, 32);
+            let p = generate_patterns(&xs, 32).expect("valid inputs");
             let b = bit_indexed_inner_product(&p, &ys, 32);
             bips_total.merge(p.tally());
             bips_total.merge(&b.tally);

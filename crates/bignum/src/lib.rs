@@ -36,6 +36,7 @@ pub mod int;
 pub mod invariants;
 pub mod limb;
 pub mod nat;
+pub mod par;
 
 pub use error::ParseNumberError;
 pub use float::Float;

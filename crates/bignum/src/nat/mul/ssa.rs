@@ -25,14 +25,19 @@ pub fn mul(a: &Nat, b: &Nat) -> Nat {
 
     let mut fa = load(a, &plan, &ring);
     let mut fb = load(b, &plan, &ring);
-    fft(&mut fa, &ring, plan.omega_exp);
-    fft(&mut fb, &ring, plan.omega_exp);
+    // The two forward transforms touch disjoint data; run them side by
+    // side when the `parallel` feature is enabled.
+    let par = crate::par::parallel_enabled();
+    crate::par::join(
+        par,
+        || fft(&mut fa, &ring, plan.omega_exp),
+        || fft(&mut fb, &ring, plan.omega_exp),
+    );
 
-    let mut fc: Vec<Nat> = fa
-        .iter()
-        .zip(&fb)
-        .map(|(x, y)| ring.mul(x, y))
-        .collect();
+    // K independent pointwise ring products, kept in coefficient order so
+    // the inverse transform below sees exactly the sequential layout.
+    let mut fc: Vec<Nat> =
+        crate::par::map_indexed(fa.len(), par, &|i| ring.mul(&fa[i], &fb[i]));
 
     let omega_inv = 2 * ring.n - plan.omega_exp;
     fft(&mut fc, &ring, omega_inv);

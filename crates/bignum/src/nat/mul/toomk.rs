@@ -23,14 +23,20 @@ pub fn mul(a: &Nat, b: &Nat, k: usize, algorithm: MulAlgorithm, th: &Thresholds)
     let ys = split(b, part_bits, k);
 
     let points = point_list(k);
-    let mut products = Vec::with_capacity(points.len());
-    for &pt in &points {
-        let (px, py) = (evaluate(&xs, pt), evaluate(&ys, pt));
-        products.push(Int::from_sign_magnitude(
-            px.is_negative() != py.is_negative(),
-            mul_recursive(px.magnitude(), py.magnitude(), algorithm, th),
-        ));
-    }
+    // The 2k−1 pointwise products are independent; dispatch them across
+    // threads when the `parallel` feature is enabled. `map_indexed`
+    // returns them in point order, so interpolation below is unchanged.
+    let products: Vec<Int> = crate::par::map_indexed(
+        points.len(),
+        crate::par::parallel_enabled(),
+        &|i| {
+            let (px, py) = (evaluate(&xs, points[i]), evaluate(&ys, points[i]));
+            Int::from_sign_magnitude(
+                px.is_negative() != py.is_negative(),
+                mul_recursive(px.magnitude(), py.magnitude(), algorithm, th),
+            )
+        },
+    );
 
     let inv = inverse_for(k);
     let m = 2 * k - 1;

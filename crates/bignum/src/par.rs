@@ -1,0 +1,183 @@
+//! Deterministic fork-join helpers for the `parallel` cargo feature.
+//!
+//! The fast-multiplication ladder contains embarrassingly parallel stages
+//! — the 2k−1 pointwise products of Toom-k and the K pointwise ring
+//! multiplications of Schönhage–Strassen — whose results are combined in a
+//! fixed interpolation/recomposition order afterwards. These helpers
+//! dispatch such index-ranges across threads while keeping results in
+//! task order, so the output (and anything accumulated from it in order)
+//! is bit-identical to the sequential path.
+//!
+//! Without the `parallel` feature everything here degrades to plain
+//! sequential loops, so callers need no `cfg` of their own. With the
+//! feature on, a process-wide switch ([`set_parallel_enabled`]) lets
+//! benchmarks time both paths from one binary; the library-internal call
+//! sites (Toom-k, SSA) consult it, while callers that pass an explicit
+//! `parallel` flag (the `cambricon-p` structural model) are unaffected.
+//!
+//! Nested data parallelism is suppressed: when a worker spawned by
+//! [`map_indexed`] itself reaches another `map_indexed` (e.g. an SSA
+//! pointwise product large enough to recurse into Toom-k), the inner call
+//! runs sequentially on that worker. This bounds the thread count at
+//! roughly the splitting factor of the outermost call.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide runtime switch consulted by the library-internal parallel
+/// call sites. `true` by default; irrelevant without the `parallel`
+/// feature.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+thread_local! {
+    /// Set while this thread is executing work items for an enclosing
+    /// `map_indexed`, to keep nested calls sequential.
+    static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Turns the library-internal parallel dispatch on or off at runtime
+/// (process-wide). A no-op without the `parallel` feature.
+pub fn set_parallel_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether library-internal call sites will currently dispatch in
+/// parallel: the `parallel` feature is compiled in and the runtime switch
+/// is on.
+pub fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel") && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of worker threads a parallel dispatch may use (1 without the
+/// `parallel` feature).
+pub fn max_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Maps `f` over `0..len`, returning results in index order.
+///
+/// When `parallel` is `true` (and the feature is compiled in, and this is
+/// not already inside a parallel worker), the range is split recursively
+/// across threads down to a grain of `len / (4·threads)` items; otherwise
+/// this is a plain sequential map. Either way the output vector is in
+/// index order, so reductions over it are deterministic.
+pub fn map_indexed<U, F>(len: usize, parallel: bool, f: &F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let nested = IN_PARALLEL_WORKER.with(Cell::get);
+        let threads = rayon::current_num_threads();
+        if parallel && !nested && threads > 1 && len > 1 {
+            let grain = len.div_ceil(4 * threads).max(1);
+            return map_range(0, len, grain, f);
+        }
+    }
+    let _ = parallel;
+    (0..len).map(f).collect()
+}
+
+/// Runs `a` and `b`, in parallel when requested (and possible), returning
+/// both results. Sequential fallback preserves the (a, b) order.
+pub fn join<RA, RB>(
+    parallel: bool,
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let nested = IN_PARALLEL_WORKER.with(Cell::get);
+        if parallel && !nested && rayon::current_num_threads() > 1 {
+            return rayon::join(
+                || in_worker(a),
+                || in_worker(b),
+            );
+        }
+    }
+    let _ = parallel;
+    (a(), b())
+}
+
+/// Runs `f` with the nested-parallelism guard set, restoring the previous
+/// state afterwards.
+#[cfg(feature = "parallel")]
+fn in_worker<R>(f: impl FnOnce() -> R) -> R {
+    let prev = IN_PARALLEL_WORKER.with(|flag| flag.replace(true));
+    let out = f();
+    IN_PARALLEL_WORKER.with(|flag| flag.set(prev));
+    out
+}
+
+#[cfg(feature = "parallel")]
+fn map_range<U, F>(lo: usize, hi: usize, grain: usize, f: &F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if hi - lo <= grain {
+        return in_worker(|| (lo..hi).map(f).collect());
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (mut left, right) = rayon::join(
+        || map_range(lo, mid, grain, f),
+        || map_range(mid, hi, grain, f),
+    );
+    left.extend(right);
+    left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for parallel in [false, true] {
+            let out = map_indexed(257, parallel, &|i| i * i);
+            assert_eq!(out.len(), 257);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * i, "parallel={parallel}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        assert!(map_indexed(0, true, &|i| i).is_empty());
+        assert_eq!(map_indexed(1, true, &|i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn join_returns_in_order() {
+        for parallel in [false, true] {
+            let (a, b) = join(parallel, || 1, || 2);
+            assert_eq!((a, b), (1, 2), "parallel={parallel}");
+        }
+    }
+
+    #[test]
+    fn runtime_switch_round_trips() {
+        set_parallel_enabled(false);
+        assert!(!parallel_enabled());
+        set_parallel_enabled(true); // restore the default
+        assert_eq!(parallel_enabled(), cfg!(feature = "parallel"));
+    }
+
+    #[test]
+    fn threads_reported_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

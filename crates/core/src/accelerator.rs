@@ -66,7 +66,25 @@ impl Accelerator {
     /// let b = Nat::from(0x1234_5678_9ABC_DEF0u64);
     /// assert_eq!(acc.multiply(&a, &b).product, &a * &b);
     /// ```
+    ///
+    /// With the `parallel` cargo feature the independent PE(b, w) passes
+    /// are dispatched across host threads — the §III inter-IPU/inter-PE
+    /// parallelism realized in the model — and reduced in a fixed order,
+    /// so product, cycles and tally are bit-identical to
+    /// [`Accelerator::multiply_sequential`].
     pub fn multiply(&self, x: &Nat, y: &Nat) -> RunOutcome {
+        self.multiply_with(x, y, cfg!(feature = "parallel"))
+    }
+
+    /// [`Accelerator::multiply`] with the PE(b, w) grid forced onto one
+    /// host thread even when the `parallel` feature is compiled in — the
+    /// reference schedule the parallel dispatch is validated against
+    /// (§III; the results must be bit-identical).
+    pub fn multiply_sequential(&self, x: &Nat, y: &Nat) -> RunOutcome {
+        self.multiply_with(x, y, false)
+    }
+
+    fn multiply_with(&self, x: &Nat, y: &Nat, parallel: bool) -> RunOutcome {
         if x.is_zero() || y.is_zero() {
             return RunOutcome {
                 product: Nat::zero(),
@@ -85,35 +103,51 @@ impl Accelerator {
         let blocks = xs.len().div_ceil(q);
         let windows = outputs.div_ceil(n_ipu);
 
+        // Every PE(b, w) pass reads only its own block/window slices, so
+        // the whole grid is computed first — across threads when
+        // requested — and folded afterwards. Task i is (w, b) in the same
+        // row-major order the sequential loops used.
+        let run_pass = |i: usize| -> Option<(Nat, BopsTally)> {
+            let (w, b) = (i / blocks, i % blocks);
+            let block: Vec<Nat> = (0..q)
+                .map(|j| xs.get(b * q + j).cloned().unwrap_or_else(Nat::zero))
+                .collect();
+            // IPU k serves output position t = w·N_IPU + k with the
+            // reversed y-slice (y_{t−qb}, …, y_{t−qb−q+1}).
+            let ys_per_ipu: Vec<Vec<Nat>> = (0..n_ipu)
+                .map(|k| {
+                    let t = w * n_ipu + k;
+                    reversed_x_slice(&ys, t, b * q, q)
+                })
+                .collect();
+            // Skip pattern blocks that cannot contribute to the window.
+            if block.iter().all(Nat::is_zero)
+                || ys_per_ipu.iter().all(|v| v.iter().all(Nat::is_zero))
+            {
+                return None;
+            }
+            let pe = pe_pass(&block, &ys_per_ipu, l)
+                // apc-lint: allow(L2) -- q <= 16 (ArchConfig) and every limb <= L bits (to_limb_vector), so the PE preconditions hold by construction
+                .expect("PE pass preconditions hold by construction");
+            Some((pe.gathered, pe.tally))
+        };
+        let passes = apc_bignum::par::map_indexed(windows * blocks, parallel, &run_pass);
+
+        // Deterministic reduce: merge tallies and fold the Adder Tree /
+        // window recomposition in exactly the sequential nesting order,
+        // so the parallel schedule cannot perturb any output.
         let mut tally = BopsTally::default();
         let mut pe_passes = 0u64;
         let mut product = Nat::zero();
-
         for w in 0..windows {
             // Adder Tree accumulator for this window (all PEs aligned).
             let mut window_acc = Nat::zero();
             for b in 0..blocks {
-                let block: Vec<Nat> = (0..q)
-                    .map(|i| xs.get(b * q + i).cloned().unwrap_or_else(Nat::zero))
-                    .collect();
-                // IPU k serves output position t = w·N_IPU + k with the
-                // reversed y-slice (y_{t−qb}, …, y_{t−qb−q+1}).
-                let ys_per_ipu: Vec<Vec<Nat>> = (0..n_ipu)
-                    .map(|k| {
-                        let t = w * n_ipu + k;
-                        reversed_x_slice(&ys, t, b * q, q)
-                    })
-                    .collect();
-                // Skip pattern blocks that cannot contribute to the window.
-                if block.iter().all(Nat::is_zero)
-                    || ys_per_ipu.iter().all(|v| v.iter().all(Nat::is_zero))
-                {
-                    continue;
+                if let Some((gathered, pass_tally)) = &passes[w * blocks + b] {
+                    tally.merge(pass_tally);
+                    pe_passes += 1;
+                    window_acc = &window_acc + gathered;
                 }
-                let pe = pe_pass(&block, &ys_per_ipu, l);
-                tally.merge(&pe.tally);
-                pe_passes += 1;
-                window_acc = &window_acc + &pe.gathered;
             }
             product = &product
                 + &window_acc.shl_bits(w as u64 * n_ipu as u64 * u64::from(l));
@@ -121,7 +155,8 @@ impl Accelerator {
 
         // Structural timing: PE passes are scheduled N_PE at a time, each
         // pass streaming limb_bits index bits; output streams out behind
-        // the pipeline.
+        // the pipeline. (The host-side dispatch above does not change the
+        // modeled schedule.)
         let pass_groups = (blocks * windows).div_ceil(self.config.n_pe) as u64;
         let cycles = pass_groups * u64::from(l) + self.config.pipeline_fill_cycles;
 

@@ -503,7 +503,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let functional = pe_pass(&x_block, &ys, 16);
+        let functional = pe_pass(&x_block, &ys, 16).expect("valid inputs");
         let clocked = clocked_pe_pass(&x_block, &ys, 16);
         assert_eq!(
             clocked, functional.gathered,
@@ -531,7 +531,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let functional = pe_pass(&x_block, &ys, 32);
+        let functional = pe_pass(&x_block, &ys, 32).expect("valid inputs");
         let clocked = clocked_pe_pass(&x_block, &ys, 32);
         assert_eq!(clocked, functional.gathered);
     }

@@ -7,6 +7,7 @@
 //! z₃ = x₀+x₁ and z₁₂ = x₂+x₃ — so only 2^q − q − 1 adders are live.
 
 use crate::bops::BopsTally;
+use crate::error::ModelError;
 use apc_bignum::Nat;
 
 /// Result of one Converter pass (Fig. 9b): the 2^q patterns and the bops
@@ -65,26 +66,32 @@ impl Patterns {
 /// use cambricon_p::converter::generate_patterns;
 ///
 /// let xs = [Nat::from(5u64), Nat::from(11u64)];
-/// let p = generate_patterns(&xs, 4);
+/// let p = generate_patterns(&xs, 4).expect("2 elements of <= 4 bits");
 /// assert_eq!(p.get(0b00).to_u64(), Some(0));
 /// assert_eq!(p.get(0b01).to_u64(), Some(5));
 /// assert_eq!(p.get(0b10).to_u64(), Some(11));
 /// assert_eq!(p.get(0b11).to_u64(), Some(16));
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any element exceeds `element_bits` bits or if `xs` has more
-/// than 16 elements (2^q patterns must stay addressable).
-pub fn generate_patterns(xs: &[Nat], element_bits: u64) -> Patterns {
+/// Returns [`ModelError::PatternTableTooLarge`] if `xs` has more than 16
+/// elements (2^q patterns must stay addressable) and
+/// [`ModelError::OversizedElement`] if any element exceeds `element_bits`
+/// bits.
+pub fn generate_patterns(xs: &[Nat], element_bits: u64) -> Result<Patterns, ModelError> {
     let q = xs.len();
-    assert!(q <= 16, "pattern table of 2^{q} entries is not realizable");
+    if q > 16 {
+        return Err(ModelError::PatternTableTooLarge { q });
+    }
     for (i, x) in xs.iter().enumerate() {
-        assert!(
-            x.bit_len() <= element_bits,
-            "element {i} has {} bits > {element_bits}",
-            x.bit_len()
-        );
+        if x.bit_len() > element_bits {
+            return Err(ModelError::OversizedElement {
+                index: i,
+                bits: x.bit_len(),
+                element_bits,
+            });
+        }
     }
     let mut values = Vec::with_capacity(1 << q);
     values.push(Nat::zero());
@@ -109,7 +116,7 @@ pub fn generate_patterns(xs: &[Nat], element_bits: u64) -> Patterns {
         tally,
     };
     crate::invariants::check_patterns(&patterns, xs);
-    patterns
+    Ok(patterns)
 }
 
 /// Number of adders a q-input Converter instantiates (2^q − q − 1), per
@@ -129,7 +136,7 @@ mod tests {
     #[test]
     fn four_element_patterns_cover_all_subsets() {
         let xs = nats(&[1, 2, 4, 8]);
-        let p = generate_patterns(&xs, 32);
+        let p = generate_patterns(&xs, 32).expect("valid inputs");
         // With powers of two, pattern[s] == s.
         for s in 0..16usize {
             assert_eq!(p.get(s).to_u64(), Some(s as u64), "mask {s:#b}");
@@ -142,7 +149,7 @@ mod tests {
         // Figure 9(b): z15 built from z3 = x0+x1 and z12 = x2+x3 — i.e.
         // every composite pattern costs exactly one addition.
         let xs = nats(&[3, 5, 7, 9]);
-        let p = generate_patterns(&xs, 32);
+        let p = generate_patterns(&xs, 32).expect("valid inputs");
         assert_eq!(p.get(0b1111).to_u64(), Some(24));
         assert_eq!(p.get(0b0011).to_u64(), Some(8));
         assert_eq!(p.get(0b1100).to_u64(), Some(16));
@@ -168,7 +175,7 @@ mod tests {
             Nat::from(1u64),
             Nat::zero(),
         ];
-        let p = generate_patterns(&xs, 1001);
+        let p = generate_patterns(&xs, 1001).expect("valid inputs");
         assert_eq!(
             p.get(0b0111),
             &(&(&Nat::power_of_two(1000) + &Nat::power_of_two(999)) + &Nat::one())
@@ -176,9 +183,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bits")]
     fn oversized_element_rejected() {
         let xs = nats(&[256]);
-        let _ = generate_patterns(&xs, 8);
+        assert_eq!(
+            generate_patterns(&xs, 8).err(),
+            Some(ModelError::OversizedElement {
+                index: 0,
+                bits: 9,
+                element_bits: 8
+            })
+        );
+    }
+
+    #[test]
+    fn too_many_elements_rejected() {
+        let xs = vec![Nat::one(); 17];
+        assert_eq!(
+            generate_patterns(&xs, 8).err(),
+            Some(ModelError::PatternTableTooLarge { q: 17 })
+        );
     }
 }

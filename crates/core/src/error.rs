@@ -1,0 +1,77 @@
+//! Errors surfaced by the functional model when inputs fall outside the
+//! hardware's representable configurations (Fig. 8, §V-B): a pattern
+//! table wider than the Converter can instantiate, elements wider than
+//! the declared bitflow width, or index tuples whose arity does not match
+//! the pattern block.
+
+use std::fmt;
+
+/// Why the functional model rejected its inputs (Fig. 8 configuration
+/// limits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelError {
+    /// The Converter would need 2^q pattern flows with q > 16, which is
+    /// not realizable (the Fig. 8 pattern table must stay addressable).
+    PatternTableTooLarge {
+        /// Requested number of Converter inputs.
+        q: usize,
+    },
+    /// An input element is wider than the declared element width p_x of
+    /// the Fig. 8 dataflow.
+    OversizedElement {
+        /// Index of the offending element.
+        index: usize,
+        /// Its actual bit length.
+        bits: u64,
+        /// The declared element width.
+        element_bits: u64,
+    },
+    /// An IPU index tuple's length differs from the pattern block length
+    /// (the q-way BIPS indexing of Fig. 8 requires matching arity).
+    ArityMismatch {
+        /// Pattern block length (q).
+        expected: usize,
+        /// Offending index tuple length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::PatternTableTooLarge { q } => {
+                write!(f, "pattern table of 2^{q} entries is not realizable (q must be <= 16)")
+            }
+            ModelError::OversizedElement { index, bits, element_bits } => {
+                write!(f, "element {index} has {bits} bits > the declared width {element_bits}")
+            }
+            ModelError::ArityMismatch { expected, got } => {
+                write!(f, "index tuple arity {got} must match the pattern block length {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = ModelError::PatternTableTooLarge { q: 20 };
+        assert!(e.to_string().contains("2^20"));
+        let e = ModelError::OversizedElement { index: 3, bits: 9, element_bits: 8 };
+        assert!(e.to_string().contains("element 3"));
+        assert!(e.to_string().contains("9 bits"));
+        let e = ModelError::ArityMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&ModelError::ArityMismatch { expected: 1, got: 0 });
+    }
+}

@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn generated_patterns_satisfy_completeness() {
         let xs: Vec<Nat> = [3u64, 5, 7, 9].iter().map(|&v| Nat::from(v)).collect();
-        let p = generate_patterns(&xs, 8);
+        let p = generate_patterns(&xs, 8).expect("valid inputs");
         check_patterns(&p, &xs);
     }
 

@@ -37,7 +37,7 @@ pub struct IpuOutput {
 /// // x⃗ = (3, 5), y⃗ = (2, 4): inner product = 3·2 + 5·4 = 26.
 /// let xs = [Nat::from(3u64), Nat::from(5u64)];
 /// let ys = [Nat::from(2u64), Nat::from(4u64)];
-/// let p = generate_patterns(&xs, 8);
+/// let p = generate_patterns(&xs, 8).expect("2 elements of <= 8 bits");
 /// let out = bit_indexed_inner_product(&p, &ys, 8);
 /// assert_eq!(out.value.to_u64(), Some(26));
 /// ```
@@ -143,7 +143,7 @@ mod tests {
             .iter()
             .map(|&v| Nat::from(v))
             .collect();
-        let p = generate_patterns(&xs, 16);
+        let p = generate_patterns(&xs, 16).expect("valid inputs");
         let out = bit_indexed_inner_product(&p, &ys, 8);
         assert_eq!(out.value, inner_product_oracle(&xs, &ys));
         assert_eq!(out.cycles, 8);
@@ -155,7 +155,7 @@ mod tests {
         // 5·6 + 11·7 = 107.
         let xs = [Nat::from(0b0101u64), Nat::from(0b1011u64)];
         let ys = [Nat::from(0b0110u64), Nat::from(0b0111u64)];
-        let p = generate_patterns(&xs, 4);
+        let p = generate_patterns(&xs, 4).expect("valid inputs");
         let out = bit_indexed_inner_product(&p, &ys, 4);
         assert_eq!(out.value.to_u64(), Some(107));
         // Cycle 3 has both index bits zero → exactly one skip... bit 0:
@@ -167,7 +167,7 @@ mod tests {
     fn zero_index_is_free() {
         let xs = [Nat::from(123u64), Nat::from(456u64)];
         let ys = [Nat::zero(), Nat::zero()];
-        let p = generate_patterns(&xs, 16);
+        let p = generate_patterns(&xs, 16).expect("valid inputs");
         let out = bit_indexed_inner_product(&p, &ys, 32);
         assert!(out.value.is_zero());
         assert_eq!(out.tally.skipped_zero, 32);
@@ -178,7 +178,7 @@ mod tests {
     fn bips_beats_plain_bit_serial_on_dense_input() {
         let xs: Vec<Nat> = (0..4).map(|i| Nat::from(0xFFFF_FFFFu64 - i)).collect();
         let ys: Vec<Nat> = (0..4).map(|i| Nat::from(0xFFFF_FFF0u64 + i)).collect();
-        let p = generate_patterns(&xs, 32);
+        let p = generate_patterns(&xs, 32).expect("valid inputs");
         let bips = bit_indexed_inner_product(&p, &ys, 32);
         let mut bips_total = bips.tally;
         bips_total.merge(p.tally());
@@ -204,7 +204,7 @@ mod tests {
             .iter()
             .map(|&v| Nat::from(v))
             .collect();
-        let p = generate_patterns(&xs, 32);
+        let p = generate_patterns(&xs, 32).expect("valid inputs");
         let out = bit_indexed_inner_product(&p, &ys, 32);
         let mut t = out.tally;
         t.merge(p.tally());

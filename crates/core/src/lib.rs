@@ -50,6 +50,7 @@ pub mod bops;
 pub mod config;
 pub mod controller;
 pub mod converter;
+pub mod error;
 pub mod gu;
 pub mod invariants;
 pub mod ipu;
@@ -60,5 +61,6 @@ pub mod stats;
 pub mod transform;
 
 pub use config::ArchConfig;
+pub use error::ModelError;
 pub use mpapca::Device;
 pub use stats::DeviceStats;

@@ -16,17 +16,18 @@
 //! from the calibrated analytic model.
 
 use crate::config::ArchConfig;
-use crate::stats::{DeviceStats, OpClass};
+use crate::stats::{DeviceStats, OpClass, SharedDeviceStats};
 use apc_bignum::nat::mont::MontgomeryCtx;
 use apc_bignum::Nat;
-use std::cell::RefCell;
 
 /// MPApca's fast-multiplication thresholds, in operand bits.
 ///
 /// Below `toom2` the hardware multiplies monolithically (no software
-/// decomposition at all). The defaults scale the paper's narrative: native
-/// coverage up to 35,904 bits, Toom ranges above, SSA at the top
-/// (§VII-B).
+/// decomposition at all). Every boundary is half-open in the same way: a
+/// size *below* a threshold uses the algorithm of the range beneath it,
+/// and the threshold itself belongs to the range above. The defaults
+/// scale the paper's narrative: native coverage below 35,904 bits, Toom
+/// ranges above, SSA at the top (§VII-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MpapcaThresholds {
     /// Below this: monolithic hardware multiplication.
@@ -72,8 +73,10 @@ pub enum MpapcaAlgorithm {
 
 impl MpapcaThresholds {
     /// Selects the algorithm for `bits`-bit balanced operands (§VII-B).
+    /// All five boundaries are strict: `bits` below a threshold selects
+    /// the range beneath it, exactly as the field docs state.
     pub fn select(&self, bits: u64) -> MpapcaAlgorithm {
-        if bits <= self.toom2 {
+        if bits < self.toom2 {
             MpapcaAlgorithm::Monolithic
         } else if bits < self.toom3 {
             MpapcaAlgorithm::Toom2
@@ -95,7 +98,7 @@ impl MpapcaThresholds {
 pub struct Device {
     config: ArchConfig,
     thresholds: MpapcaThresholds,
-    stats: RefCell<DeviceStats>,
+    stats: SharedDeviceStats,
 }
 
 impl Device {
@@ -104,7 +107,7 @@ impl Device {
         Device {
             config,
             thresholds: MpapcaThresholds::default(),
-            stats: RefCell::new(DeviceStats::default()),
+            stats: SharedDeviceStats::default(),
         }
     }
 
@@ -129,24 +132,26 @@ impl Device {
         &self.thresholds
     }
 
-    /// A snapshot of the accumulated statistics (§VII-B accounting).
+    /// A snapshot of the accumulated statistics (§VII-B accounting). The
+    /// counters are atomic, so this is safe to call while other threads
+    /// are issuing operations on the same handle.
     pub fn stats(&self) -> DeviceStats {
-        self.stats.borrow().clone()
+        self.stats.snapshot()
     }
 
     /// Clears the accumulated statistics (§VII-B accounting).
     pub fn reset_stats(&self) {
-        *self.stats.borrow_mut() = DeviceStats::default();
+        self.stats.reset();
     }
 
     /// Seconds of device time accumulated so far (§VII-A clock).
     pub fn seconds(&self) -> f64 {
-        self.stats.borrow().seconds(&self.config)
+        self.stats.snapshot().seconds(&self.config)
     }
 
     /// Energy in joules accumulated so far (§VII-A power model).
     pub fn energy_joules(&self) -> f64 {
-        self.stats.borrow().energy_joules(&self.config)
+        self.stats.snapshot().energy_joules(&self.config)
     }
 
     // ------------------------------------------------------------------
@@ -351,7 +356,7 @@ impl Device {
         let n = na.max(nb).max(1);
         // Unbalanced operands: block the long one by the short one.
         let short = na.min(nb).max(1);
-        if n > 2 * short && n > self.thresholds.toom2 {
+        if n > 2 * short && n >= self.thresholds.toom2 {
             let blocks = n.div_ceil(short);
             return blocks * self.mul_cycles(short, short) + self.linear_cycles(n);
         }
@@ -433,7 +438,7 @@ impl Device {
     }
 
     fn record(&self, class: OpClass, cycles: u64, llc_bytes: u64) {
-        self.stats.borrow_mut().record(class, cycles, llc_bytes);
+        self.stats.record(class, cycles, llc_bytes);
     }
 }
 
@@ -491,12 +496,61 @@ mod tests {
     fn threshold_selection() {
         let t = MpapcaThresholds::default();
         assert_eq!(t.select(64), MpapcaAlgorithm::Monolithic);
-        assert_eq!(t.select(35_904), MpapcaAlgorithm::Monolithic);
-        assert_eq!(t.select(35_905), MpapcaAlgorithm::Toom2);
+        assert_eq!(t.select(35_903), MpapcaAlgorithm::Monolithic);
+        assert_eq!(t.select(35_904), MpapcaAlgorithm::Toom2);
         assert_eq!(t.select(200_000), MpapcaAlgorithm::Toom3);
         assert_eq!(t.select(1_000_000), MpapcaAlgorithm::Toom4);
         assert_eq!(t.select(3_000_000), MpapcaAlgorithm::Toom6);
         assert_eq!(t.select(10_000_000), MpapcaAlgorithm::Ssa);
+    }
+
+    #[test]
+    fn every_threshold_boundary_is_strict() {
+        // The field docs say "Below this: <algorithm>" — so a size exactly
+        // at each threshold must already belong to the range above it,
+        // consistently across all five boundaries.
+        let t = MpapcaThresholds::default();
+        for (threshold, below, at) in [
+            (t.toom2, MpapcaAlgorithm::Monolithic, MpapcaAlgorithm::Toom2),
+            (t.toom3, MpapcaAlgorithm::Toom2, MpapcaAlgorithm::Toom3),
+            (t.toom4, MpapcaAlgorithm::Toom3, MpapcaAlgorithm::Toom4),
+            (t.toom6, MpapcaAlgorithm::Toom4, MpapcaAlgorithm::Toom6),
+            (t.ssa, MpapcaAlgorithm::Toom6, MpapcaAlgorithm::Ssa),
+        ] {
+            assert_eq!(t.select(threshold - 1), below, "below {threshold}");
+            assert_eq!(t.select(threshold), at, "at {threshold}");
+        }
+    }
+
+    #[test]
+    fn device_is_send_and_sync() {
+        // Compile-time assertion: the handle must be shareable across
+        // threads (its stats are atomic, not a RefCell).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Device>();
+        assert_send_sync::<crate::stats::SharedDeviceStats>();
+    }
+
+    #[test]
+    fn one_handle_serves_concurrent_callers() {
+        let d = Device::new_default();
+        let a = Nat::power_of_two(2048) - Nat::from(19u64);
+        let b = Nat::power_of_two(2047) + Nat::from(7u64);
+        let threads = 4u64;
+        let per_thread = 8u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        assert_eq!(d.mul(&a, &b), &a * &b);
+                    }
+                });
+            }
+        });
+        let stats = d.stats();
+        assert_eq!(stats.ops_for(OpClass::Mul), threads * per_thread);
+        let expected_cycles = d.mul_cycles(a.bit_len(), b.bit_len()) * threads * per_thread;
+        assert_eq!(stats.cycles, expected_cycles, "no increments lost");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::bops::BopsTally;
 use crate::converter::{generate_patterns, Patterns};
+use crate::error::ModelError;
 use crate::gu::{cycles_carry_parallel, gather_carry_parallel};
 use crate::ipu::bit_indexed_inner_product;
 use apc_bignum::Nat;
@@ -43,37 +44,45 @@ pub struct PeResult {
 ///     vec![Nat::from(2u64), Nat::from(4u64)],
 ///     vec![Nat::from(1u64), Nat::from(1u64)],
 /// ];
-/// let r = pe_pass(&x, &ys, 8);
+/// let r = pe_pass(&x, &ys, 8).expect("well-formed PE inputs");
 /// assert_eq!(r.per_ipu[0].to_u64(), Some(26));
 /// assert_eq!(r.per_ipu[1].to_u64(), Some(8));
 /// assert_eq!(r.gathered.to_u64(), Some(26 + (8 << 8)));
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an index tuple length differs from the pattern block length.
-pub fn pe_pass(x_block: &[Nat], ys_per_ipu: &[Vec<Nat>], limb_bits: u32) -> PeResult {
-    let patterns: Patterns = generate_patterns(x_block, u64::from(limb_bits));
+/// Returns [`ModelError::ArityMismatch`] if an index tuple length differs
+/// from the pattern block length, and forwards the
+/// [`crate::converter::generate_patterns`] errors for blocks the
+/// Converter cannot realize (q > 16 or oversized limbs).
+pub fn pe_pass(
+    x_block: &[Nat],
+    ys_per_ipu: &[Vec<Nat>],
+    limb_bits: u32,
+) -> Result<PeResult, ModelError> {
+    let patterns: Patterns = generate_patterns(x_block, u64::from(limb_bits))?;
     let mut tally = *patterns.tally();
     let mut per_ipu = Vec::with_capacity(ys_per_ipu.len());
     for ys in ys_per_ipu {
-        assert_eq!(
-            ys.len(),
-            x_block.len(),
-            "index tuple arity must match the pattern block"
-        );
+        if ys.len() != x_block.len() {
+            return Err(ModelError::ArityMismatch {
+                expected: x_block.len(),
+                got: ys.len(),
+            });
+        }
         let out = bit_indexed_inner_product(&patterns, ys, u64::from(limb_bits));
         tally.merge(&out.tally);
         per_ipu.push(out.value);
     }
     let gathered = gather_carry_parallel(&per_ipu, limb_bits);
     let output_bits = gathered.value.bit_len();
-    PeResult {
+    Ok(PeResult {
         gathered: gathered.value,
         per_ipu,
         tally,
         cycles: u64::from(limb_bits) + cycles_carry_parallel(output_bits, limb_bits),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -88,7 +97,7 @@ mod tests {
     fn single_ipu_is_plain_inner_product() {
         let x = [limb(7), limb(9), limb(2), limb(1)];
         let y = vec![vec![limb(3), limb(4), limb(5), limb(6)]];
-        let r = pe_pass(&x, &y, 8);
+        let r = pe_pass(&x, &y, 8).expect("valid inputs");
         assert_eq!(r.per_ipu[0].to_u64(), Some(7 * 3 + 9 * 4 + 2 * 5 + 6));
         assert_eq!(r.gathered, r.per_ipu[0]);
     }
@@ -97,7 +106,7 @@ mod tests {
     fn gather_places_ipus_at_stride_l() {
         let x = [limb(1), limb(0)];
         let ys: Vec<Vec<Nat>> = (0..4).map(|k| vec![limb(k + 1), limb(0)]).collect();
-        let r = pe_pass(&x, &ys, 16);
+        let r = pe_pass(&x, &ys, 16).expect("valid inputs");
         // IPU k yields k+1; gathered = Σ (k+1)·2^(16k).
         let expect = 1u64 + (2 << 16) + (3 << 32) + (4 << 48);
         assert_eq!(r.gathered.to_u64(), Some(expect));
@@ -108,8 +117,8 @@ mod tests {
         let x = [limb(0xAB), limb(0xCD), limb(0x12), limb(0x34)];
         let one = vec![limb(1), limb(1), limb(1), limb(1)];
         let many: Vec<Vec<Nat>> = (0..8).map(|_| one.clone()).collect();
-        let r8 = pe_pass(&x, &many, 8);
-        let r1 = pe_pass(&x, &many[..1], 8);
+        let r8 = pe_pass(&x, &many, 8).expect("valid inputs");
+        let r1 = pe_pass(&x, &many[..1], 8).expect("valid inputs");
         // Pattern generation cost identical regardless of IPU count.
         assert_eq!(r8.tally.pattern_generation, r1.tally.pattern_generation);
         assert!(r8.tally.weighted_gather > r1.tally.weighted_gather);
@@ -121,8 +130,18 @@ mod tests {
         let x = [limb(0xFF), limb(0xFF)];
         let y = vec![limb(0xFF), limb(0xFF)];
         let ys = vec![y.clone(), y];
-        let r = pe_pass(&x, &ys, 8);
+        let r = pe_pass(&x, &ys, 8).expect("valid inputs");
         let ip = 0xFFu64 * 0xFF * 2; // each IPU: 130050
         assert_eq!(r.gathered.to_u64(), Some(ip + (ip << 8)));
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported_not_panicked() {
+        let x = [limb(1), limb(2)];
+        let ys = vec![vec![limb(3)]]; // tuple of 1 against a block of 2
+        assert_eq!(
+            pe_pass(&x, &ys, 8).err(),
+            Some(crate::error::ModelError::ArityMismatch { expected: 2, got: 1 })
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::bops::BopsTally;
 use crate::config::ArchConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Operation classes tracked by the runtime (matching the Fig. 2
 /// breakdown categories).
@@ -118,6 +119,92 @@ impl DeviceStats {
         }
         self.llc_bytes += other.llc_bytes;
         self.bops.merge(&other.bops);
+    }
+}
+
+/// Thread-safe accumulator behind [`crate::mpapca::Device`]'s `&self`
+/// operator API (§VII-B accounting): every counter is a relaxed atomic,
+/// so one device handle can serve concurrent callers (the inter-IPU
+/// parallelism of §III extended to the runtime layer) without locks and
+/// without making the handle `!Sync`.
+///
+/// Counter increments are independent saturating-free additions, so the
+/// totals are exact regardless of interleaving; only cross-counter
+/// consistency of a [`SharedDeviceStats::snapshot`] taken *during* a
+/// racing operation is approximate, which mirrors what a hardware
+/// performance-counter read would observe.
+#[derive(Debug, Default)]
+pub struct SharedDeviceStats {
+    cycles: AtomicU64,
+    cycles_by_class: [AtomicU64; 7],
+    ops_by_class: [AtomicU64; 7],
+    llc_bytes: AtomicU64,
+    pattern_generation: AtomicU64,
+    weighted_gather: AtomicU64,
+    bit_serial_reference: AtomicU64,
+    skipped_zero: AtomicU64,
+}
+
+impl SharedDeviceStats {
+    /// Records an operation (§VII-B accounting), like
+    /// [`DeviceStats::record`] but through `&self`.
+    pub fn record(&self, class: OpClass, cycles: u64, llc_bytes: u64) {
+        self.cycles.fetch_add(cycles, Ordering::Relaxed);
+        self.cycles_by_class[class.index()].fetch_add(cycles, Ordering::Relaxed);
+        self.ops_by_class[class.index()].fetch_add(1, Ordering::Relaxed);
+        self.llc_bytes.fetch_add(llc_bytes, Ordering::Relaxed);
+    }
+
+    /// Folds a bops tally from the functional units into the totals
+    /// (§VI-B metric).
+    pub fn record_bops(&self, tally: &BopsTally) {
+        self.pattern_generation
+            .fetch_add(tally.pattern_generation, Ordering::Relaxed);
+        self.weighted_gather
+            .fetch_add(tally.weighted_gather, Ordering::Relaxed);
+        self.bit_serial_reference
+            .fetch_add(tally.bit_serial_reference, Ordering::Relaxed);
+        self.skipped_zero
+            .fetch_add(tally.skipped_zero, Ordering::Relaxed);
+    }
+
+    /// A plain [`DeviceStats`] copy of the current totals (§VII-B
+    /// accounting).
+    pub fn snapshot(&self) -> DeviceStats {
+        let mut s = DeviceStats {
+            cycles: self.cycles.load(Ordering::Relaxed),
+            llc_bytes: self.llc_bytes.load(Ordering::Relaxed),
+            ..DeviceStats::default()
+        };
+        for i in 0..7 {
+            s.cycles_by_class[i] = self.cycles_by_class[i].load(Ordering::Relaxed);
+            s.ops_by_class[i] = self.ops_by_class[i].load(Ordering::Relaxed);
+        }
+        s.bops = BopsTally {
+            pattern_generation: self.pattern_generation.load(Ordering::Relaxed),
+            weighted_gather: self.weighted_gather.load(Ordering::Relaxed),
+            bit_serial_reference: self.bit_serial_reference.load(Ordering::Relaxed),
+            skipped_zero: self.skipped_zero.load(Ordering::Relaxed),
+        };
+        s
+    }
+
+    /// Zeroes every counter (§VII-B accounting).
+    pub fn reset(&self) {
+        self.cycles.store(0, Ordering::Relaxed);
+        self.llc_bytes.store(0, Ordering::Relaxed);
+        for i in 0..7 {
+            self.cycles_by_class[i].store(0, Ordering::Relaxed);
+            self.ops_by_class[i].store(0, Ordering::Relaxed);
+        }
+        for counter in [
+            &self.pattern_generation,
+            &self.weighted_gather,
+            &self.bit_serial_reference,
+            &self.skipped_zero,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
     }
 }
 

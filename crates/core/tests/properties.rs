@@ -26,7 +26,7 @@ proptest! {
     fn converter_patterns_are_subset_sums(
         xs in prop::collection::vec(arb_limb32(), 1..=4)
     ) {
-        let p = generate_patterns(&xs, 32);
+        let p = generate_patterns(&xs, 32).expect("valid inputs");
         for mask in 0..p.len() {
             let mut expect = Nat::zero();
             for (i, x) in xs.iter().enumerate() {
@@ -47,7 +47,7 @@ proptest! {
         let ys: Vec<Nat> = (0..xs.len())
             .map(|i| Nat::from(u64::from((seed.rotate_left(i as u32 * 13)) as u32)))
             .collect();
-        let p = generate_patterns(&xs, 32);
+        let p = generate_patterns(&xs, 32).expect("valid inputs");
         let bips = bit_indexed_inner_product(&p, &ys, 32);
         let plain = plain_bit_serial_inner_product(&xs, &ys, 32, true);
         let oracle = inner_product_oracle(&xs, &ys);
@@ -92,7 +92,7 @@ proptest! {
                 ]
             })
             .collect();
-        let r = pe_pass(&block, &ys, 32);
+        let r = pe_pass(&block, &ys, 32).expect("valid inputs");
         for (k, y) in ys.iter().enumerate() {
             prop_assert_eq!(&r.per_ipu[k], &inner_product_oracle(&block, y));
         }

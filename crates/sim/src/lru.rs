@@ -39,6 +39,11 @@ struct Node {
 impl Lru {
     /// A cache holding up to `capacity` lines.
     ///
+    /// The map and the node slab are reserved for the full `capacity` up
+    /// front: a warm cache holds exactly `capacity` resident lines, so a
+    /// smaller reservation only deferred the same allocation into the
+    /// middle of the simulated run (and re-hashed/re-copied on the way).
+    ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
@@ -46,8 +51,8 @@ impl Lru {
         assert!(capacity > 0, "cache must hold at least one line");
         Lru {
             capacity,
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
-            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,
             free: Vec::new(),
@@ -194,5 +199,29 @@ mod tests {
         }
         // Slab should not grow unboundedly: 2 live + free list reuse.
         assert!(c.nodes.len() <= 3);
+    }
+
+    #[test]
+    fn full_capacity_is_reserved_up_front() {
+        // Regression: capacities above 2^20 used to be clamped at reserve
+        // time, so the slab and map reallocated mid-run once the cache
+        // warmed past the clamp.
+        let capacity = (1 << 20) + 1;
+        let c = Lru::new(capacity);
+        assert!(c.nodes.capacity() >= capacity);
+        assert!(c.map.capacity() >= capacity);
+    }
+
+    #[test]
+    fn warmup_to_capacity_never_regrows_the_slab() {
+        let capacity = (1 << 20) + 1;
+        let mut c = Lru::new(capacity);
+        let reserved = c.nodes.capacity();
+        // Fill to capacity, then force evictions past it.
+        for i in 0..(capacity as u64 + 1000) {
+            c.touch(i);
+        }
+        assert_eq!(c.len(), capacity);
+        assert_eq!(c.nodes.capacity(), reserved, "slab reallocated mid-run");
     }
 }

@@ -1,0 +1,30 @@
+//! Interior-mutability traps: L6 must flag cells in pub struct fields.
+
+use std::cell::{Cell, RefCell};
+
+/// An exported handle that silently became !Sync.
+pub struct Tracker {
+    hits: RefCell<u64>,
+}
+
+/// Same trap through a plain Cell.
+pub struct Counter {
+    count: Cell<u32>,
+}
+
+/// Private types may stay single-threaded.
+struct Scratch {
+    buf: RefCell<Vec<u64>>,
+}
+
+/// Justified single-threaded design is allowed.
+pub struct Replay {
+    // apc-lint: allow(L6) -- replay decks are thread-local by design
+    deck: RefCell<Vec<u64>>,
+}
+
+/// Keeps the private fields referenced so the fixture reads naturally.
+pub fn touch(t: &Tracker, c: &Counter, s: &Scratch, r: &Replay) -> u64 {
+    *t.hits.borrow() + u64::from(c.count.get()) + s.buf.borrow().len() as u64
+        + r.deck.borrow().len() as u64
+}

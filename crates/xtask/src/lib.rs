@@ -18,6 +18,7 @@
 //! | L3 | no bare `as` narrowing casts in `crates/bignum/src/nat/**` and `crates/core/src/**` |
 //! | L4 | every `crates/core` public item cites a paper anchor (`§`, `Eq.`, `Fig.`) |
 //! | L5 | Cargo.toml hygiene: workspace-inherited metadata, `lints.workspace`, no path deps escaping the workspace |
+//! | L6 | no `RefCell`/`Cell` fields in `pub` structs on library paths (keeps exported handles `Sync`) |
 //!
 //! Every rule has an escape hatch:
 //!
@@ -55,6 +56,8 @@ pub enum RuleId {
     L4,
     /// Cargo.toml hygiene.
     L5,
+    /// No `RefCell`/`Cell` fields in `pub` structs on library paths.
+    L6,
 }
 
 impl RuleId {
@@ -67,13 +70,21 @@ impl RuleId {
             "L3" => Some(RuleId::L3),
             "L4" => Some(RuleId::L4),
             "L5" => Some(RuleId::L5),
+            "L6" => Some(RuleId::L6),
             _ => None,
         }
     }
 
     /// All enforceable rules (excludes the `L0` meta-rule).
-    pub fn all() -> [RuleId; 5] {
-        [RuleId::L1, RuleId::L2, RuleId::L3, RuleId::L4, RuleId::L5]
+    pub fn all() -> [RuleId; 6] {
+        [
+            RuleId::L1,
+            RuleId::L2,
+            RuleId::L3,
+            RuleId::L4,
+            RuleId::L5,
+            RuleId::L6,
+        ]
     }
 
     /// One-line description, used by `xtask rules`.
@@ -89,6 +100,9 @@ impl RuleId {
             }
             RuleId::L4 => "crates/core public items cite a paper anchor (§, Eq., Fig.)",
             RuleId::L5 => "Cargo.toml hygiene: inherited metadata, workspace lints, no escaping path deps",
+            RuleId::L6 => {
+                "no RefCell/Cell fields in pub structs on library paths (exported handles stay Sync)"
+            }
         }
     }
 }
@@ -150,6 +164,7 @@ pub fn lint_tree(root: &Path) -> Result<Vec<Violation>, LintError> {
         violations.extend(rules::l2_no_panic_paths(source));
         violations.extend(rules::l3_no_narrowing_casts(source));
         violations.extend(rules::l4_paper_anchors(source));
+        violations.extend(rules::l6_no_interior_mutability_in_pub_structs(source));
     }
     for manifest in &manifests {
         violations.extend(manifest.directive_errors());

@@ -1,4 +1,4 @@
-//! The five apc-lint rules.
+//! The six apc-lint rules.
 //!
 //! Each rule takes scanned files (see [`crate::scan`]) and returns
 //! [`Violation`]s. Scoping is purely path-pattern based and relative to
@@ -282,6 +282,76 @@ fn doc_block_above(file: &SourceFile, idx: usize) -> String {
     }
     docs.reverse();
     docs.join("\n")
+}
+
+/// L6: no `RefCell<..>` / `Cell<..>` fields in `pub` structs on library
+/// paths. Interior mutability in an exported handle silently makes it
+/// `!Sync`, so one instance can never serve concurrent callers — the
+/// exact trap the `Device` stats block fell into before it moved to
+/// atomics. Use atomics (or a lock) for shared accounting, keep the cell
+/// in a private type, or justify the single-threaded design with
+/// `// apc-lint: allow(L6) -- <reason>`.
+pub fn l6_no_interior_mutability_in_pub_structs(file: &SourceFile) -> Vec<Violation> {
+    if !is_library_source(&file.rel_path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth: i32 = 0;
+    // A `pub struct` has been declared and its `{` body not yet opened.
+    let mut awaiting_body = false;
+    // Brace depth of the innermost open `pub struct` body.
+    let mut body_floor: Option<i32> = None;
+    for (idx, code) in file.code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let in_test = file.test_lines[idx];
+        let trimmed = code.trim_start();
+        let declares_pub_struct = !in_test
+            && (trimmed.starts_with("pub struct ")
+                || (trimmed.starts_with("pub(") && contains_token(code, "struct")));
+        if declares_pub_struct && body_floor.is_none() {
+            awaiting_body = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if awaiting_body {
+                        awaiting_body = false;
+                        body_floor = Some(depth);
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if body_floor.is_some_and(|floor| depth < floor) {
+                        body_floor = None;
+                    }
+                }
+                // Unit / tuple struct: declaration ends without a body
+                // (tuple fields are caught on the declaration line itself).
+                ';' if awaiting_body => awaiting_body = false,
+                _ => {}
+            }
+        }
+        if (body_floor.is_some() || declares_pub_struct) && !in_test {
+            for needle in ["RefCell", "Cell"] {
+                if contains_token(code, needle) && !file.allowed(RuleId::L6, line_no) {
+                    out.push(violation(
+                        RuleId::L6,
+                        &file.rel_path,
+                        line_no,
+                        format!(
+                            "`{needle}<..>` field in a pub struct makes the exported \
+                             handle !Sync — use atomics or a lock (see \
+                             SharedDeviceStats), or add `// apc-lint: allow(L6) \
+                             -- <reason>`"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Keys every member crate must inherit from `[workspace.package]`.

@@ -64,4 +64,37 @@ proptest! {
         let acc = Accelerator::new_default();
         prop_assert_eq!(acc.multiply(&a, &b).product, &a * &b);
     }
+
+    #[test]
+    fn parallel_accelerator_is_bit_identical_to_sequential(
+        a in arb_nat(12), b in arb_nat(12)
+    ) {
+        // With the `parallel` feature, `multiply` dispatches PE passes
+        // across threads; the reduce must make every observable output —
+        // product, cycle model, pass count, bops tally — identical to the
+        // sequential schedule. Without the feature both paths are
+        // sequential and this degenerates to determinism.
+        let acc = Accelerator::new_default();
+        let par = acc.multiply(&a, &b);
+        let seq = acc.multiply_sequential(&a, &b);
+        prop_assert_eq!(par.product, seq.product);
+        prop_assert_eq!(par.cycles, seq.cycles);
+        prop_assert_eq!(par.pe_passes, seq.pe_passes);
+        prop_assert_eq!(par.tally, seq.tally);
+    }
+
+    #[test]
+    fn parallel_software_mul_is_bit_identical(
+        a in arb_nat(1200), b in arb_nat(1200)
+    ) {
+        // Exercises the Toom-k pointwise-product dispatch in apc-bignum
+        // (operands up to ~76k bits reach Toom-2/3/4 with the default
+        // thresholds). The runtime switch must not change any product bit.
+        use cambricon_p_repro::apc_bignum::par;
+        par::set_parallel_enabled(false);
+        let seq = &a * &b;
+        par::set_parallel_enabled(true);
+        let par_product = &a * &b;
+        prop_assert_eq!(par_product, seq);
+    }
 }

@@ -1,0 +1,74 @@
+//! Offline std-only stand-in for the `rayon` crate (see vendor/README.md).
+//!
+//! Implements the tiny slice of rayon's API this workspace uses — the
+//! fork-join primitive [`join`] and [`current_num_threads`] — on plain
+//! `std::thread::scope`. Unlike real rayon there is no work-stealing pool:
+//! every `join` spawns one OS thread for its second closure. Callers are
+//! expected to control task granularity themselves (recurse down to a
+//! grain size), which the in-tree users do, so the missing pool only costs
+//! a few microseconds of spawn overhead per task.
+//!
+//! The API shapes mirror real rayon exactly, so restoring the real crate
+//! in `[workspace.dependencies]` requires no source changes elsewhere.
+
+#![forbid(unsafe_code)]
+
+/// Runs `oper_a` and `oper_b` potentially in parallel and returns both
+/// results. Panics from either closure propagate to the caller, like real
+/// rayon's `join`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let handle_b = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match handle_b.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Number of threads the "pool" would use — the machine's available
+/// parallelism (real rayon reports its global pool size, which defaults to
+/// the same number).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results_in_order() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), (c, d)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn join_can_borrow_from_the_stack() {
+        let data = vec![1u64, 2, 3, 4];
+        let (lo, hi) = join(|| data[..2].iter().sum::<u64>(), || data[2..].iter().sum::<u64>());
+        assert_eq!(lo + hi, 10);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
