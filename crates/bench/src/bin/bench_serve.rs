@@ -1,0 +1,223 @@
+//! Serving-layer throughput and latency under offered load, written as
+//! machine-readable JSON to `BENCH_serve_throughput.json` at the repo
+//! root.
+//!
+//! Closed-loop tenants share one `apc-serve` instance: each client thread
+//! submits a job and waits for its report before submitting the next, so
+//! offered load scales with the client count. At 1 client the service
+//! degenerates to serial one-job-at-a-time operation (every batch holds
+//! one job — the baseline); at higher client counts the scheduler forms
+//! real batches and the per-batch handoff (condvar wake + rendezvous +
+//! worker wake) amortizes across the batch. The paper's §VII utilization
+//! argument, transplanted to the host: group compatible work so the
+//! compute resources spend their time computing, not synchronizing.
+//!
+//! A direct-device loop (no service, no queue) is also timed as the
+//! reference ceiling for this operand size.
+
+use apc_bench::{fmt_seconds, header};
+use apc_bignum::Nat;
+use apc_serve::{Job, JobSpec, ServeConfig, ServeHandle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const OPERAND_BITS: u64 = 2048;
+const JOBS_PER_CLIENT: usize = 150;
+const WORKERS: usize = 2;
+const BATCH_MAX: usize = 16;
+
+struct LoadPoint {
+    clients: usize,
+    jobs: usize,
+    wall_seconds: f64,
+    throughput: f64,
+    p50_latency_s: f64,
+    p99_latency_s: f64,
+    mean_batch_size: f64,
+    max_queue_depth: usize,
+}
+
+impl LoadPoint {
+    fn json(&self) -> String {
+        format!(
+            "{{\"clients\": {}, \"jobs\": {}, \"wall_seconds\": {}, \"throughput_jobs_per_s\": {}, \"p50_latency_s\": {}, \"p99_latency_s\": {}, \"mean_batch_size\": {}, \"max_queue_depth\": {}}}",
+            self.clients,
+            self.jobs,
+            self.wall_seconds,
+            self.throughput,
+            self.p50_latency_s,
+            self.p99_latency_s,
+            self.mean_batch_size,
+            self.max_queue_depth
+        )
+    }
+
+    fn print(&self) {
+        println!(
+            "{:>8} {:>8} {:>12} {:>14.1} {:>12} {:>12} {:>11.2} {:>10}",
+            self.clients,
+            self.jobs,
+            fmt_seconds(self.wall_seconds),
+            self.throughput,
+            fmt_seconds(self.p50_latency_s),
+            fmt_seconds(self.p99_latency_s),
+            self.mean_batch_size,
+            self.max_queue_depth
+        );
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One closed-loop run: `clients` tenant threads, each submitting
+/// `JOBS_PER_CLIENT` multiplies and waiting for each report in turn.
+fn run_load_point(clients: usize, operands: &[(Nat, Nat)]) -> LoadPoint {
+    let serve = ServeHandle::start(ServeConfig {
+        workers: WORKERS,
+        batch_max: BATCH_MAX,
+        ..ServeConfig::default()
+    });
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let serve = serve.clone();
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(JOBS_PER_CLIENT);
+                    for i in 0..JOBS_PER_CLIENT {
+                        let (a, b) = &operands[(c * JOBS_PER_CLIENT + i) % operands.len()];
+                        let t = Instant::now();
+                        let report = serve
+                            .submit_wait(
+                                Job::Mul { a: a.clone(), b: b.clone() },
+                                JobSpec::default(),
+                            )
+                            .expect("closed-loop submit cannot overflow the queue");
+                        lat.push(t.elapsed().as_secs_f64());
+                        assert!(report.service_cycles > 0);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    serve.shutdown();
+    let m = serve.metrics();
+    let jobs = clients * JOBS_PER_CLIENT;
+    assert_eq!(m.completed, jobs as u64, "every job must complete");
+    latencies.sort_by(|x, y| x.partial_cmp(y).expect("finite latencies"));
+    LoadPoint {
+        clients,
+        jobs,
+        wall_seconds,
+        throughput: jobs as f64 / wall_seconds,
+        p50_latency_s: percentile(&latencies, 0.50),
+        p99_latency_s: percentile(&latencies, 0.99),
+        mean_batch_size: m.mean_batch_size(),
+        max_queue_depth: m.max_queue_depth,
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2022);
+    let operands: Vec<(Nat, Nat)> = (0..64)
+        .map(|_| {
+            (
+                Nat::random_exact_bits(OPERAND_BITS, &mut rng),
+                Nat::random_exact_bits(OPERAND_BITS, &mut rng),
+            )
+        })
+        .collect();
+
+    // Reference ceiling: the same multiplies straight on a private device,
+    // no queue, no threads.
+    let device = cambricon_p::mpapca::Device::new_default();
+    let t0 = Instant::now();
+    let direct_jobs = 300usize;
+    for i in 0..direct_jobs {
+        let (a, b) = &operands[i % operands.len()];
+        let _ = device.mul(a, b);
+    }
+    let direct_throughput = direct_jobs as f64 / t0.elapsed().as_secs_f64();
+
+    header(&format!(
+        "apc-serve closed-loop throughput — {OPERAND_BITS}-bit multiplies, {WORKERS} workers, batch_max {BATCH_MAX}"
+    ));
+    println!(
+        "{:>8} {:>8} {:>12} {:>14} {:>12} {:>12} {:>11} {:>10}",
+        "clients", "jobs", "wall", "jobs/s", "p50", "p99", "batch", "depth"
+    );
+    let points: Vec<LoadPoint> = [1usize, 4, 16]
+        .iter()
+        .map(|&clients| {
+            let p = run_load_point(clients, &operands);
+            p.print();
+            p
+        })
+        .collect();
+    println!();
+    println!("direct device (no service): {direct_throughput:.1} jobs/s");
+
+    let serial = &points[0];
+    let peak = points.last().expect("at least one load point");
+    println!(
+        "batched vs serial-through-service: {:.1} vs {:.1} jobs/s ({:.2}x), mean batch {:.2}",
+        peak.throughput,
+        serial.throughput,
+        peak.throughput / serial.throughput,
+        peak.mean_batch_size
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
+    let _ = writeln!(json, "  \"operand_bits\": {OPERAND_BITS},");
+    let _ = writeln!(json, "  \"workers\": {WORKERS},");
+    let _ = writeln!(json, "  \"batch_max\": {BATCH_MAX},");
+    let _ = writeln!(json, "  \"jobs_per_client\": {JOBS_PER_CLIENT},");
+    let _ = writeln!(json, "  \"direct_device_jobs_per_s\": {direct_throughput},");
+    let _ = writeln!(json, "  \"load_points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{comma}", p.json());
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"batched_over_serial\": {}",
+        peak.throughput / serial.throughput
+    );
+    let _ = writeln!(json, "}}");
+
+    let out: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_serve_throughput.json"]
+        .iter()
+        .collect();
+    std::fs::write(&out, &json).expect("write BENCH_serve_throughput.json");
+    println!();
+    println!("wrote {}", out.display());
+
+    assert!(
+        peak.throughput >= serial.throughput,
+        "batched throughput ({:.1}/s) fell below serial single-job throughput ({:.1}/s)",
+        peak.throughput,
+        serial.throughput
+    );
+    assert!(
+        peak.mean_batch_size > 1.0,
+        "the peak load point never formed a real batch"
+    );
+}

@@ -139,6 +139,17 @@ impl Device {
         self.stats.snapshot()
     }
 
+    /// A cheap counter snapshot for delta attribution (§VII-B
+    /// accounting): semantically identical to [`Device::stats`], named for
+    /// the snapshot/delta idiom — take one before and one after a batch of
+    /// operations and [`DeviceStats::delta_since`] yields the batch's
+    /// exact service cost. The snapshot is 16 relaxed atomic loads plus a
+    /// small copy; no locks are taken, so concurrent issuers are never
+    /// stalled by an observer.
+    pub fn stats_snapshot(&self) -> DeviceStats {
+        self.stats.snapshot()
+    }
+
     /// Clears the accumulated statistics (§VII-B accounting).
     pub fn reset_stats(&self) {
         self.stats.reset();

@@ -110,6 +110,42 @@ impl DeviceStats {
         self.seconds(config) * config.power_w + self.llc_bytes as f64 * LLC_PJ_PER_BYTE * 1e-12
     }
 
+    /// The counter increments accumulated since `baseline` was taken
+    /// (§VII-B accounting): every field is the saturating difference
+    /// `self − baseline`. This is the delta half of the cheap
+    /// snapshot/delta attribution API — take a [`crate::mpapca::Device::stats_snapshot`]
+    /// before a batch of operations and another after, and the delta is
+    /// the batch's exact service cost (the counters are monotone, so on a
+    /// single-owner handle the difference cannot go negative).
+    pub fn delta_since(&self, baseline: &DeviceStats) -> DeviceStats {
+        let mut d = DeviceStats {
+            cycles: self.cycles.saturating_sub(baseline.cycles),
+            llc_bytes: self.llc_bytes.saturating_sub(baseline.llc_bytes),
+            ..DeviceStats::default()
+        };
+        for i in 0..7 {
+            d.cycles_by_class[i] =
+                self.cycles_by_class[i].saturating_sub(baseline.cycles_by_class[i]);
+            d.ops_by_class[i] = self.ops_by_class[i].saturating_sub(baseline.ops_by_class[i]);
+        }
+        d.bops = BopsTally {
+            pattern_generation: self
+                .bops
+                .pattern_generation
+                .saturating_sub(baseline.bops.pattern_generation),
+            weighted_gather: self
+                .bops
+                .weighted_gather
+                .saturating_sub(baseline.bops.weighted_gather),
+            bit_serial_reference: self
+                .bops
+                .bit_serial_reference
+                .saturating_sub(baseline.bops.bit_serial_reference),
+            skipped_zero: self.bops.skipped_zero.saturating_sub(baseline.bops.skipped_zero),
+        };
+        d
+    }
+
     /// Merges another stats block into this one (§VII-B accounting).
     pub fn merge(&mut self, other: &DeviceStats) {
         self.cycles += other.cycles;
@@ -247,6 +283,32 @@ mod tests {
         assert_eq!(a.cycles_for(OpClass::Div), 12);
         assert_eq!(a.ops_for(OpClass::Shift), 1);
         assert_eq!(a.llc_bytes, 3);
+    }
+
+    #[test]
+    fn delta_since_isolates_a_batch() {
+        let shared = SharedDeviceStats::default();
+        shared.record(OpClass::Mul, 100, 64);
+        let before = shared.snapshot();
+        shared.record(OpClass::Mul, 40, 8);
+        shared.record(OpClass::Div, 7, 2);
+        let delta = shared.snapshot().delta_since(&before);
+        assert_eq!(delta.cycles, 47);
+        assert_eq!(delta.cycles_for(OpClass::Mul), 40);
+        assert_eq!(delta.ops_for(OpClass::Mul), 1);
+        assert_eq!(delta.ops_for(OpClass::Div), 1);
+        assert_eq!(delta.llc_bytes, 10);
+        // The baseline itself is untouched.
+        assert_eq!(before.cycles, 100);
+    }
+
+    #[test]
+    fn delta_since_of_identical_snapshots_is_zero() {
+        let shared = SharedDeviceStats::default();
+        shared.record(OpClass::Sqrt, 9, 1);
+        let s = shared.snapshot();
+        let delta = s.delta_since(&s);
+        assert_eq!(delta, DeviceStats::default());
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Service observability counters.
+//!
+//! Everything is a relaxed atomic (the `SharedDeviceStats` idiom from
+//! `cambricon-p`), so tenants, the scheduler, and the workers all record
+//! without locks and a snapshot never stalls the service.
+
+use cambricon_p::stats::OpClass;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+fn class_index(class: OpClass) -> usize {
+    // OpClass::ALL is the stable report order used across the workspace.
+    OpClass::ALL.iter().position(|&c| c == class).unwrap_or(OpClass::ALL.len() - 1)
+}
+
+/// Lock-free counters shared by every part of the service.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_oversized: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    rejected_invalid: AtomicU64,
+    deadline_missed: AtomicU64,
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+    max_queue_depth: AtomicUsize,
+    cycles_by_class: [AtomicU64; 7],
+    jobs_by_class: [AtomicU64; 7],
+}
+
+impl ServeMetrics {
+    /// Records an accepted submission at the observed queue depth.
+    pub(crate) fn record_submit(&self, depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a rejection.
+    pub(crate) fn record_rejection(&self, error: &crate::error::SubmitError) {
+        use crate::error::SubmitError;
+        let counter = match error {
+            SubmitError::QueueFull { .. } => &self.rejected_full,
+            SubmitError::OversizedOperand { .. } => &self.rejected_oversized,
+            SubmitError::Shutdown => &self.rejected_shutdown,
+            SubmitError::InvalidJob(_) => &self.rejected_invalid,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dispatched batch of `jobs` jobs.
+    pub(crate) fn record_batch(&self, jobs: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
+    }
+
+    /// Records one completed job with its attributed service cycles.
+    pub(crate) fn record_completion(&self, class: OpClass, cycles: u64, missed_deadline: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let i = class_index(class);
+        self.cycles_by_class[i].fetch_add(cycles, Ordering::Relaxed);
+        self.jobs_by_class[i].fetch_add(1, Ordering::Relaxed);
+        if missed_deadline {
+            self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A plain copy of the current totals.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut cycles_by_class = [0u64; 7];
+        let mut jobs_by_class = [0u64; 7];
+        for i in 0..7 {
+            cycles_by_class[i] = self.cycles_by_class[i].load(Ordering::Relaxed);
+            jobs_by_class[i] = self.jobs_by_class[i].load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            rejected_oversized: self.rejected_oversized.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            cycles_by_class,
+            jobs_by_class,
+        }
+    }
+}
+
+/// One consistent-enough copy of the service counters (relaxed reads,
+/// like a hardware performance-counter sweep).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs that received their terminal report.
+    pub completed: u64,
+    /// Rejections due to a full queue (backpressure events).
+    pub rejected_full: u64,
+    /// Rejections due to the operand-size ceiling.
+    pub rejected_oversized: u64,
+    /// Rejections because the service was shutting down.
+    pub rejected_shutdown: u64,
+    /// Rejections of jobs that could never execute.
+    pub rejected_invalid: u64,
+    /// Completed jobs that missed their deadline.
+    pub deadline_missed: u64,
+    /// Batches dispatched to the worker pool.
+    pub batches: u64,
+    /// Jobs carried by those batches.
+    pub batched_jobs: u64,
+    /// Highest queue depth observed at submission time.
+    pub max_queue_depth: usize,
+    /// Attributed device service cycles, indexed like `OpClass::ALL`.
+    pub cycles_by_class: [u64; 7],
+    /// Completed jobs per class, indexed like `OpClass::ALL`.
+    pub jobs_by_class: [u64; 7],
+}
+
+impl MetricsSnapshot {
+    /// Attributed service cycles for one operation class.
+    pub fn cycles_for(&self, class: OpClass) -> u64 {
+        self.cycles_by_class[class_index(class)]
+    }
+
+    /// Completed jobs for one operation class.
+    pub fn jobs_for(&self, class: OpClass) -> u64 {
+        self.jobs_by_class[class_index(class)]
+    }
+
+    /// Mean jobs per dispatched batch (0 when nothing was dispatched).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_jobs as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SubmitError;
+
+    #[test]
+    fn counters_roll_up_by_kind() {
+        let m = ServeMetrics::default();
+        m.record_submit(1);
+        m.record_submit(5);
+        m.record_submit(3);
+        m.record_rejection(&SubmitError::QueueFull { capacity: 4 });
+        m.record_rejection(&SubmitError::Shutdown);
+        m.record_batch(2);
+        m.record_batch(1);
+        m.record_completion(OpClass::Mul, 100, false);
+        m.record_completion(OpClass::Div, 40, true);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.max_queue_depth, 5);
+        assert_eq!(s.rejected_full, 1);
+        assert_eq!(s.rejected_shutdown, 1);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.deadline_missed, 1);
+        assert_eq!(s.batches, 2);
+        assert!((s.mean_batch_size() - 1.5).abs() < 1e-12);
+        assert_eq!(s.cycles_for(OpClass::Mul), 100);
+        assert_eq!(s.cycles_for(OpClass::Div), 40);
+        assert_eq!(s.jobs_for(OpClass::Mul), 1);
+    }
+}

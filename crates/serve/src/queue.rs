@@ -1,0 +1,421 @@
+//! The bounded, bucket-partitioned submission queue.
+//!
+//! Jobs are partitioned into power-of-two operand-bitwidth buckets at
+//! admission. Batches are always formed from a single bucket, so every
+//! batch a worker receives holds jobs of compatible size — the host-side
+//! analogue of packing same-shape work onto the PE array to keep the
+//! IPUs busy (the paper's §VII utilization argument; see DESIGN.md
+//! §"Serving layer").
+//!
+//! The queue is **bounded across all buckets**: admission returns
+//! [`SubmitError::QueueFull`] instead of blocking or dropping. Each
+//! per-bucket deque reserves the full configured capacity up front — the
+//! same full-capacity reservation idiom as `apc_sim::lru::Lru::new` — so
+//! steady-state operation at capacity never reallocates mid-run.
+//!
+//! All waiting is condvar-based; the scheduler never sleep-polls (lint
+//! rule L7 enforces this for the whole crate).
+
+use crate::error::SubmitError;
+use crate::job::{Job, JobReport, JobSpec};
+use crate::scheduler::SchedPolicy;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// One accepted job waiting for dispatch.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    /// Monotone submission sequence number (FIFO key).
+    pub id: u64,
+    /// The work itself.
+    pub job: Job,
+    /// Scheduling metadata.
+    pub spec: JobSpec,
+    /// When the job was accepted.
+    pub submitted_at: Instant,
+    /// Absolute deadline, precomputed at admission.
+    pub deadline_at: Option<Instant>,
+    /// Where the terminal report goes.
+    pub reporter: Sender<JobReport>,
+}
+
+/// A dispatched unit of work: jobs from one bitwidth bucket.
+#[derive(Debug)]
+pub(crate) struct Batch {
+    /// The bucket ceiling (bits) the jobs were grouped under.
+    pub bucket_bits: u64,
+    /// The jobs, in dispatch order.
+    pub jobs: Vec<Pending>,
+}
+
+struct State {
+    buckets: Vec<VecDeque<Pending>>,
+    queued: usize,
+    shutdown: bool,
+}
+
+/// The bounded multi-bucket queue shared by submitters and the scheduler.
+pub(crate) struct JobQueue {
+    capacity: usize,
+    bucket_ceilings: Vec<u64>,
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+impl JobQueue {
+    /// Builds the queue with power-of-two bucket ceilings spanning
+    /// `min_bucket_bits ..= max_operand_bits`. Every bucket reserves the
+    /// full `capacity` (total-queue bound) up front, mirroring
+    /// `Lru::new`: the queued total can never exceed `capacity`, so no
+    /// bucket can either, and steady state never reallocates.
+    pub fn new(capacity: usize, min_bucket_bits: u64, max_operand_bits: u64) -> JobQueue {
+        let mut ceilings = Vec::new();
+        let mut c = min_bucket_bits.next_power_of_two().max(1);
+        loop {
+            ceilings.push(c);
+            if c >= max_operand_bits {
+                break;
+            }
+            c = c.saturating_mul(2);
+        }
+        let buckets = ceilings
+            .iter()
+            .map(|_| VecDeque::with_capacity(capacity))
+            .collect();
+        JobQueue {
+            capacity,
+            bucket_ceilings: ceilings,
+            state: Mutex::new(State { buckets, queued: 0, shutdown: false }),
+            work_ready: Condvar::new(),
+        }
+    }
+
+    /// The admission ceiling: the largest bucket.
+    pub fn max_operand_bits(&self) -> u64 {
+        // Construction guarantees at least one ceiling.
+        self.bucket_ceilings.last().copied().unwrap_or(u64::MAX)
+    }
+
+    /// The bucket ceiling `bits` falls into.
+    #[cfg(test)]
+    pub fn bucket_for(&self, bits: u64) -> u64 {
+        self.bucket_ceilings
+            .iter()
+            .copied()
+            .find(|&c| bits <= c)
+            .unwrap_or_else(|| self.max_operand_bits())
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // Poison only means a panicking thread released the lock mid-way;
+        // the state transitions below are all single-step, so recover.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits one job or explains why not. Never blocks, never drops.
+    pub fn push(&self, pending: Pending) -> Result<usize, SubmitError> {
+        let bits = pending.job.operand_bits();
+        let Some(idx) = self.bucket_ceilings.iter().position(|&c| bits <= c) else {
+            return Err(SubmitError::OversizedOperand {
+                bits,
+                max_bits: self.max_operand_bits(),
+            });
+        };
+        let mut state = self.lock();
+        if state.shutdown {
+            return Err(SubmitError::Shutdown);
+        }
+        if state.queued >= self.capacity {
+            return Err(SubmitError::QueueFull { capacity: self.capacity });
+        }
+        state.buckets[idx].push_back(pending);
+        state.queued += 1;
+        let depth = state.queued;
+        drop(state);
+        self.work_ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Current queued (not yet dispatched) job count.
+    pub fn depth(&self) -> usize {
+        self.lock().queued
+    }
+
+    /// Flags shutdown: no new admissions; the scheduler drains what is
+    /// already queued.
+    pub fn begin_shutdown(&self) {
+        self.lock().shutdown = true;
+        self.work_ready.notify_all();
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutdown(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// Blocks until a batch can be formed, and forms it. Returns `None`
+    /// only when the queue is shut down **and** fully drained — the
+    /// scheduler's termination signal.
+    pub fn next_batch(&self, batch_max: usize, policy: SchedPolicy) -> Option<Batch> {
+        let mut state = self.lock();
+        loop {
+            if let Some(batch) = self.pop_batch(&mut state, batch_max, policy) {
+                return Some(batch);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self
+                .work_ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking batch formation: `None` when nothing is queued (the
+    /// empty tick — scheduling work only exists when jobs do).
+    #[cfg(test)]
+    pub fn try_next_batch(&self, batch_max: usize, policy: SchedPolicy) -> Option<Batch> {
+        let mut state = self.lock();
+        self.pop_batch(&mut state, batch_max, policy)
+    }
+
+    fn pop_batch(
+        &self,
+        state: &mut State,
+        batch_max: usize,
+        policy: SchedPolicy,
+    ) -> Option<Batch> {
+        let batch_max = batch_max.max(1);
+        // Pick the bucket whose best pending job is globally most urgent.
+        let mut best: Option<(usize, usize)> = None; // (bucket, index within)
+        for (b, dq) in state.buckets.iter().enumerate() {
+            if let Some(i) = best_in_bucket(dq, policy) {
+                let cand = &dq[i];
+                let better = match best {
+                    None => true,
+                    Some((bb, bi)) => more_urgent(cand, &state.buckets[bb][bi], policy),
+                };
+                if better {
+                    best = Some((b, i));
+                }
+            }
+        }
+        let (bucket, _) = best?;
+        let mut jobs = Vec::with_capacity(batch_max);
+        while jobs.len() < batch_max {
+            let Some(i) = best_in_bucket(&state.buckets[bucket], policy) else {
+                break;
+            };
+            if let Some(p) = state.buckets[bucket].remove(i) {
+                jobs.push(p);
+                state.queued -= 1;
+            } else {
+                break;
+            }
+        }
+        Some(Batch { bucket_bits: self.bucket_ceilings[bucket], jobs })
+    }
+
+    /// Reserved capacity of each bucket deque (for the reservation
+    /// regression test).
+    #[cfg(test)]
+    fn bucket_queue_capacities(&self) -> Vec<usize> {
+        self.lock().buckets.iter().map(VecDeque::capacity).collect()
+    }
+}
+
+/// Index of the most urgent job in one bucket under `policy` (FIFO keeps
+/// submission order, so the head; deadline-aware scans).
+fn best_in_bucket(dq: &VecDeque<Pending>, policy: SchedPolicy) -> Option<usize> {
+    match policy {
+        SchedPolicy::Fifo => {
+            if dq.is_empty() {
+                None
+            } else {
+                Some(0)
+            }
+        }
+        SchedPolicy::DeadlineAware => {
+            let mut best: Option<usize> = None;
+            for i in 0..dq.len() {
+                let better = match best {
+                    None => true,
+                    Some(j) => more_urgent(&dq[i], &dq[j], policy),
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Whether `a` should run before `b` under `policy`. Total and
+/// deterministic: ties fall back to submission order, so two schedulers
+/// with the same queue state form the same batches.
+fn more_urgent(a: &Pending, b: &Pending, policy: SchedPolicy) -> bool {
+    match policy {
+        SchedPolicy::Fifo => a.id < b.id,
+        SchedPolicy::DeadlineAware => {
+            // Earliest deadline first; no deadline sorts after any
+            // deadline; then higher priority; then submission order.
+            match (a.deadline_at, b.deadline_at) {
+                (Some(da), Some(db)) if da != db => da < db,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                _ => {
+                    if a.spec.priority != b.spec.priority {
+                        a.spec.priority > b.spec.priority
+                    } else {
+                        a.id < b.id
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_bignum::Nat;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn pending(id: u64, bits: u64) -> (Pending, mpsc::Receiver<JobReport>) {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        (
+            Pending {
+                id,
+                job: Job::Mul { a: Nat::power_of_two(bits.saturating_sub(1)), b: Nat::one() },
+                spec: JobSpec::default(),
+                submitted_at: now,
+                deadline_at: None,
+                reporter: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn bucket_ceilings_are_powers_of_two_and_cover_the_range() {
+        let q = JobQueue::new(8, 64, 1 << 20);
+        assert_eq!(q.bucket_for(1), 64);
+        assert_eq!(q.bucket_for(64), 64);
+        assert_eq!(q.bucket_for(65), 128);
+        assert_eq!(q.bucket_for(1 << 20), 1 << 20);
+        assert_eq!(q.max_operand_bits(), 1 << 20);
+    }
+
+    #[test]
+    fn empty_tick_yields_no_batch() {
+        let q = JobQueue::new(4, 64, 4096);
+        assert!(q.try_next_batch(8, SchedPolicy::Fifo).is_none());
+        assert!(q.try_next_batch(8, SchedPolicy::DeadlineAware).is_none());
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_is_enforced_without_blocking() {
+        let q = JobQueue::new(3, 64, 4096);
+        let mut rxs = Vec::new();
+        for id in 0..3 {
+            let (p, rx) = pending(id, 100);
+            assert!(q.push(p).is_ok());
+            rxs.push(rx);
+        }
+        let (p, _rx) = pending(3, 100);
+        assert_eq!(q.push(p), Err(SubmitError::QueueFull { capacity: 3 }));
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn batches_never_mix_buckets() {
+        let q = JobQueue::new(8, 64, 4096);
+        let mut rxs = Vec::new();
+        for (id, bits) in [(0u64, 60u64), (1, 3000), (2, 50), (3, 40)] {
+            let (p, rx) = pending(id, bits);
+            q.push(p).expect("capacity available");
+            rxs.push(rx);
+        }
+        let b = q.try_next_batch(8, SchedPolicy::Fifo).expect("work queued");
+        assert_eq!(b.bucket_bits, 64);
+        assert_eq!(b.jobs.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 2, 3]);
+        let b2 = q.try_next_batch(8, SchedPolicy::Fifo).expect("big job left");
+        assert_eq!(b2.bucket_bits, 4096);
+        assert_eq!(b2.jobs.len(), 1);
+        assert!(q.try_next_batch(8, SchedPolicy::Fifo).is_none());
+    }
+
+    #[test]
+    fn deadline_aware_orders_by_deadline_then_priority() {
+        let q = JobQueue::new(8, 64, 4096);
+        let now = Instant::now();
+        let mut rxs = Vec::new();
+        let mut push = |id: u64, deadline_ms: Option<u64>, priority: u8| {
+            let (mut p, rx) = pending(id, 100);
+            p.deadline_at = deadline_ms.map(|ms| now + Duration::from_millis(ms));
+            p.spec.priority = priority;
+            q.push(p).expect("capacity available");
+            rxs.push(rx);
+        };
+        push(0, None, 0);
+        push(1, Some(500), 0);
+        push(2, Some(100), 0);
+        push(3, None, 9);
+        let b = q
+            .try_next_batch(4, SchedPolicy::DeadlineAware)
+            .expect("work queued");
+        assert_eq!(b.jobs.iter().map(|p| p.id).collect::<Vec<_>>(), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn steady_state_at_capacity_never_reallocates_bucket_queues() {
+        // The Lru full-capacity-reservation idiom, applied to the
+        // scheduler's per-bucket queues: churn the queue at its configured
+        // capacity and assert no deque ever regrows.
+        let capacity = 64;
+        let q = JobQueue::new(capacity, 64, 1 << 16);
+        let reserved = q.bucket_queue_capacities();
+        assert!(reserved.iter().all(|&c| c >= capacity), "{reserved:?}");
+        let mut id = 0u64;
+        let mut rxs = Vec::new();
+        for _round in 0..10 {
+            // Fill to capacity across several buckets, then drain fully.
+            loop {
+                let (p, rx) = pending(id, 60 + (id % 4) * 2000);
+                id += 1;
+                match q.push(p) {
+                    Ok(_) => rxs.push(rx),
+                    Err(SubmitError::QueueFull { .. }) => break,
+                    Err(e) => unreachable!("unexpected rejection: {e}"),
+                }
+            }
+            while q.try_next_batch(7, SchedPolicy::Fifo).is_some() {}
+        }
+        assert_eq!(
+            q.bucket_queue_capacities(),
+            reserved,
+            "bucket queues reallocated during steady state"
+        );
+    }
+
+    #[test]
+    fn shutdown_rejects_new_but_drains_old() {
+        let q = JobQueue::new(4, 64, 4096);
+        let (p, _rx) = pending(0, 100);
+        q.push(p).expect("capacity available");
+        q.begin_shutdown();
+        let (p2, _rx2) = pending(1, 100);
+        assert_eq!(q.push(p2), Err(SubmitError::Shutdown));
+        // The queued job is still drainable...
+        assert!(q.next_batch(4, SchedPolicy::Fifo).is_some());
+        // ...and once empty, next_batch signals termination.
+        assert!(q.next_batch(4, SchedPolicy::Fifo).is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! The batch-forming scheduler thread.
+//!
+//! One thread owns batch formation: it blocks on the queue's condvar
+//! (never sleep-polls — lint rule L7), forms a single-bucket batch under
+//! the configured policy, and hands it to the worker pool over a
+//! rendezvous channel. The rendezvous (a zero-capacity sync channel) is
+//! deliberate: jobs stay in the reorderable bucket queues until a worker
+//! is actually free, so a late high-urgency submission can still overtake
+//! queued work under the deadline-aware policy, and queue depth remains an
+//! honest backpressure signal.
+
+use crate::metrics::ServeMetrics;
+use crate::queue::{Batch, JobQueue};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+
+/// Batch-formation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Strict submission order (within and across buckets).
+    #[default]
+    Fifo,
+    /// Earliest deadline first, then priority, then submission order.
+    /// Jobs without deadlines run after jobs with them.
+    DeadlineAware,
+}
+
+/// Runs until the queue reports shutdown-and-drained, then drops the
+/// dispatch sender so the worker pool unwinds.
+pub(crate) fn scheduler_loop(
+    queue: Arc<JobQueue>,
+    dispatch: SyncSender<Batch>,
+    batch_max: usize,
+    policy: SchedPolicy,
+    metrics: Arc<ServeMetrics>,
+) {
+    while let Some(batch) = queue.next_batch(batch_max, policy) {
+        metrics.record_batch(batch.jobs.len());
+        if dispatch.send(batch).is_err() {
+            // Workers are gone (they only exit after this sender is
+            // dropped, so this means a panic took the pool down); there
+            // is nobody left to execute for.
+            break;
+        }
+    }
+    // `dispatch` drops here: workers see a closed channel and exit after
+    // finishing their in-flight batches.
+}

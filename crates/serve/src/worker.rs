@@ -1,0 +1,70 @@
+//! The worker pool: one `cambricon_p::Device` handle per worker.
+//!
+//! Workers pull whole batches from the rendezvous channel and execute
+//! their jobs back to back — the per-batch handoff cost (channel
+//! rendezvous, mutex, thread wake) is paid once per batch instead of once
+//! per job, which is where the serving layer's throughput win over
+//! one-job-at-a-time submission comes from. Per-job service cycles are
+//! attributed with the snapshot/delta stats API on the worker's own
+//! device, so concurrent tenants never blur each other's accounting.
+
+use crate::job::{DeadlineOutcome, JobId, JobReport};
+use crate::metrics::ServeMetrics;
+use crate::queue::Batch;
+use cambricon_p::Device;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Runs until the dispatch channel closes (scheduler exit).
+pub(crate) fn worker_loop(
+    index: usize,
+    device: Device,
+    dispatch: Arc<Mutex<Receiver<Batch>>>,
+    metrics: Arc<ServeMetrics>,
+) {
+    let cycle_seconds = device.config().cycle_seconds();
+    loop {
+        // Hold the receiver lock only for the blocking receive; execution
+        // happens with the channel free for the other workers.
+        let batch = {
+            let rx = dispatch.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        let Ok(batch) = batch else {
+            return; // channel closed: graceful pool unwind
+        };
+        let picked_up_at = Instant::now();
+        for pending in batch.jobs {
+            let before = device.stats_snapshot();
+            let output = pending.job.run(&device);
+            let delta = device.stats_snapshot().delta_since(&before);
+            let finished_at = Instant::now();
+            let deadline = match pending.deadline_at {
+                None => DeadlineOutcome::None,
+                Some(at) if finished_at <= at => DeadlineOutcome::Met,
+                Some(_) => DeadlineOutcome::Missed,
+            };
+            let class = pending.job.op_class();
+            metrics.record_completion(
+                class,
+                delta.cycles,
+                deadline == DeadlineOutcome::Missed,
+            );
+            let report = JobReport {
+                id: JobId(pending.id),
+                output,
+                op_class: class,
+                bucket_bits: batch.bucket_bits,
+                worker: index,
+                queue_wait: picked_up_at.saturating_duration_since(pending.submitted_at),
+                service_cycles: delta.cycles,
+                service_seconds: delta.cycles as f64 * cycle_seconds,
+                deadline,
+            };
+            // A dropped ticket just means the tenant stopped listening;
+            // the job still completed and was counted.
+            let _ = pending.reporter.send(report);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! | L4 | every `crates/core` public item cites a paper anchor (`§`, `Eq.`, `Fig.`) |
 //! | L5 | Cargo.toml hygiene: workspace-inherited metadata, `lints.workspace`, no path deps escaping the workspace |
 //! | L6 | no `RefCell`/`Cell` fields in `pub` structs on library paths (keeps exported handles `Sync`) |
+//! | L7 | no `thread::sleep` on `crates/serve` library paths (the service blocks on condvars/channels, never polls) |
 //!
 //! Every rule has an escape hatch:
 //!
@@ -58,6 +59,8 @@ pub enum RuleId {
     L5,
     /// No `RefCell`/`Cell` fields in `pub` structs on library paths.
     L6,
+    /// No `thread::sleep` on `crates/serve` library paths.
+    L7,
 }
 
 impl RuleId {
@@ -71,12 +74,13 @@ impl RuleId {
             "L4" => Some(RuleId::L4),
             "L5" => Some(RuleId::L5),
             "L6" => Some(RuleId::L6),
+            "L7" => Some(RuleId::L7),
             _ => None,
         }
     }
 
     /// All enforceable rules (excludes the `L0` meta-rule).
-    pub fn all() -> [RuleId; 6] {
+    pub fn all() -> [RuleId; 7] {
         [
             RuleId::L1,
             RuleId::L2,
@@ -84,6 +88,7 @@ impl RuleId {
             RuleId::L4,
             RuleId::L5,
             RuleId::L6,
+            RuleId::L7,
         ]
     }
 
@@ -102,6 +107,9 @@ impl RuleId {
             RuleId::L5 => "Cargo.toml hygiene: inherited metadata, workspace lints, no escaping path deps",
             RuleId::L6 => {
                 "no RefCell/Cell fields in pub structs on library paths (exported handles stay Sync)"
+            }
+            RuleId::L7 => {
+                "no thread::sleep on crates/serve library paths (block on condvars/channels, never poll)"
             }
         }
     }
@@ -165,6 +173,7 @@ pub fn lint_tree(root: &Path) -> Result<Vec<Violation>, LintError> {
         violations.extend(rules::l3_no_narrowing_casts(source));
         violations.extend(rules::l4_paper_anchors(source));
         violations.extend(rules::l6_no_interior_mutability_in_pub_structs(source));
+        violations.extend(rules::l7_no_sleep_in_serve(source));
     }
     for manifest in &manifests {
         violations.extend(manifest.directive_errors());

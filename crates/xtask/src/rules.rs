@@ -1,4 +1,4 @@
-//! The six apc-lint rules.
+//! The seven apc-lint rules.
 //!
 //! Each rule takes scanned files (see [`crate::scan`]) and returns
 //! [`Violation`]s. Scoping is purely path-pattern based and relative to
@@ -18,6 +18,7 @@ const LIBRARY_CRATE_DIRS: &[&str] = &[
     "crates/baselines",
     "crates/bignum",
     "crates/core",
+    "crates/serve",
     "crates/sim",
     "crates/xtask",
 ];
@@ -349,6 +350,39 @@ pub fn l6_no_interior_mutability_in_pub_structs(file: &SourceFile) -> Vec<Violat
                     break;
                 }
             }
+        }
+    }
+    out
+}
+
+/// L7: no `thread::sleep` on library paths in `crates/serve`. The
+/// serving layer is event-driven end to end: submitters signal a condvar,
+/// the scheduler blocks on it, workers block on the dispatch channel. A
+/// sleep on any of these paths is a latency floor and a busy-poll in
+/// disguise — the scheduler would either oversleep a ready batch or spin
+/// the (single) CPU the workers need. Tests may sleep; library code
+/// blocks on the event that actually changes state, or justifies itself
+/// with `// apc-lint: allow(L7) -- <reason>`.
+pub fn l7_no_sleep_in_serve(file: &SourceFile) -> Vec<Violation> {
+    let rel = &file.rel_path;
+    if !rel.starts_with("crates/serve/src/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, code) in file.code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if file.test_lines[idx] {
+            continue;
+        }
+        if contains_token(code, "thread::sleep") && !file.allowed(RuleId::L7, line_no) {
+            out.push(violation(
+                RuleId::L7,
+                rel,
+                line_no,
+                "`thread::sleep` on a serving-layer library path — block on the \
+                 condvar/channel that signals the state change instead, or add \
+                 `// apc-lint: allow(L7) -- <reason>`",
+            ));
         }
     }
     out

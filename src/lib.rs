@@ -9,6 +9,8 @@
 //! - [`apc_sim`] — cache-hierarchy and roofline simulation.
 //! - [`apc_baselines`] — CPU/GPU/accelerator cost models.
 //! - [`apc_apps`] — the four APC applications (Pi, Frac, zkcm, RSA).
+//! - [`apc_serve`] — the batching job scheduler serving the device model
+//!   to concurrent tenants.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,5 +18,6 @@
 pub use apc_apps;
 pub use apc_baselines;
 pub use apc_bignum;
+pub use apc_serve;
 pub use apc_sim;
 pub use cambricon_p;
