@@ -15,10 +15,14 @@
 use apc_baselines::cpu as cpu_model;
 use apc_bignum::{Int, Nat};
 use apc_serve::{Job, JobOutput, JobSpec, ServeHandle};
+use apc_trace::{HistogramSnapshot, Log2Histogram};
 use cambricon_p::stats::OpClass;
 use cambricon_p::Device;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Per-class tally slots, sized from the canonical class list.
+const N_CLASSES: usize = OpClass::ALL.len();
 
 /// Which engine executes the kernel operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +51,10 @@ pub struct Session {
     kind: BackendKind,
     device: Option<Device>,
     serve: Option<ServeHandle>,
-    tallies: Mutex<[ClassTally; 7]>,
+    tallies: Mutex<[ClassTally; N_CLASSES]>,
+    // Instant-domain span over every kernel operator the session ran
+    // (lock-free; recorded alongside the wall tally).
+    kernel_ns: Log2Histogram,
 }
 
 /// Summary of a session's accumulated work.
@@ -100,6 +107,7 @@ impl Session {
             device: None,
             serve: None,
             tallies: Mutex::new(Default::default()),
+            kernel_ns: Log2Histogram::new(),
         }
     }
 
@@ -115,6 +123,7 @@ impl Session {
             device: Some(device),
             serve: None,
             tallies: Mutex::new(Default::default()),
+            kernel_ns: Log2Histogram::new(),
         }
     }
 
@@ -131,6 +140,7 @@ impl Session {
             device: Some(Device::new(serve.arch().clone())),
             serve: Some(serve),
             tallies: Mutex::new(Default::default()),
+            kernel_ns: Log2Histogram::new(),
         }
     }
 
@@ -149,15 +159,25 @@ impl Session {
         self.serve.as_ref()
     }
 
+    /// Snapshot of the per-operator kernel wall-time span histogram
+    /// (Instant domain, nanoseconds). Counts one entry per tallied
+    /// operator, whichever engine executed it.
+    pub fn kernel_latency(&self) -> HistogramSnapshot {
+        self.kernel_ns.snapshot()
+    }
+
     /// The one place lock poisoning on the tally mutex is handled: a
     /// poisoned lock only means another thread panicked mid-tally, and
     /// every tally transition is single-step, so the counters stay
     /// usable and the session keeps reporting.
-    fn lock_tallies(&self) -> MutexGuard<'_, [ClassTally; 7]> {
+    fn lock_tallies(&self) -> MutexGuard<'_, [ClassTally; N_CLASSES]> {
         self.tallies.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn tally(&self, class: OpClass, wall: f64, modeled: f64) {
+        let ns = wall * 1e9;
+        self.kernel_ns
+            .record(if ns.is_finite() && ns >= 0.0 { ns as u64 } else { 0 });
         let mut t = self.lock_tallies();
         // apc-lint: allow(L2) -- OpClass::ALL enumerates every variant by construction
         let idx = OpClass::ALL.iter().position(|&c| c == class).expect("known class");
@@ -546,6 +566,20 @@ mod tests {
             r.device_seconds > 0.0,
             "fallback work must be accounted on the local device"
         );
+    }
+
+    #[test]
+    fn kernel_latency_counts_one_span_per_tallied_operator() {
+        let s = Session::software();
+        let a = Nat::power_of_two(512) - Nat::one();
+        let b = Nat::from(12345u64);
+        let _ = s.mul(&a, &b);
+        let _ = s.divrem(&a, &b);
+        let _ = s.add(&a, &b);
+        let h = s.kernel_latency();
+        let ops: u64 = s.report().by_class.iter().map(|(_, n, _)| n).sum();
+        assert_eq!(h.count, ops, "one span per tallied operator");
+        assert!(h.count >= 3);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 
 use apc_bench::{fmt_seconds, header};
 use apc_bignum::Nat;
-use apc_serve::{Job, JobSpec, ServeConfig, ServeHandle};
+use apc_serve::{Job, JobSpec, MetricsSnapshot, ServeConfig, ServeHandle};
+use apc_trace::export::histogram_json;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -38,12 +39,16 @@ struct LoadPoint {
     p99_latency_s: f64,
     mean_batch_size: f64,
     max_queue_depth: usize,
+    // Service-side span histograms (apc-trace, ns / cycle domain), so
+    // the JSON carries queue-wait and service p50/p99 as seen by the
+    // scheduler rather than only the client-observed round trip.
+    metrics: MetricsSnapshot,
 }
 
 impl LoadPoint {
     fn json(&self) -> String {
         format!(
-            "{{\"clients\": {}, \"jobs\": {}, \"wall_seconds\": {}, \"throughput_jobs_per_s\": {}, \"p50_latency_s\": {}, \"p99_latency_s\": {}, \"mean_batch_size\": {}, \"max_queue_depth\": {}}}",
+            "{{\"clients\": {}, \"jobs\": {}, \"wall_seconds\": {}, \"throughput_jobs_per_s\": {}, \"p50_latency_s\": {}, \"p99_latency_s\": {}, \"mean_batch_size\": {}, \"max_queue_depth\": {}, \"queue_wait_ns\": {}, \"service_ns\": {}, \"service_cycles\": {}, \"batch_form_ns\": {}, \"dispatch_wait_ns\": {}}}",
             self.clients,
             self.jobs,
             self.wall_seconds,
@@ -51,7 +56,12 @@ impl LoadPoint {
             self.p50_latency_s,
             self.p99_latency_s,
             self.mean_batch_size,
-            self.max_queue_depth
+            self.max_queue_depth,
+            histogram_json(&self.metrics.queue_wait_ns),
+            histogram_json(&self.metrics.service_ns),
+            histogram_json(&self.metrics.service_cycles),
+            histogram_json(&self.metrics.batch_form_ns),
+            histogram_json(&self.metrics.dispatch_wait_ns)
         )
     }
 
@@ -129,7 +139,12 @@ fn run_load_point(clients: usize, operands: &[(Nat, Nat)]) -> LoadPoint {
         p99_latency_s: percentile(&latencies, 0.99),
         mean_batch_size: m.mean_batch_size(),
         max_queue_depth: m.max_queue_depth,
+        metrics: m,
     }
+}
+
+fn ns_as_seconds(ns: u64) -> f64 {
+    ns as f64 / 1e9
 }
 
 fn main() {
@@ -181,6 +196,20 @@ fn main() {
         peak.throughput / serial.throughput,
         peak.mean_batch_size
     );
+    let qw = &peak.metrics.queue_wait_ns;
+    let sv = &peak.metrics.service_ns;
+    println!(
+        "peak service-side spans: queue-wait p50 {} / p99 {}, service p50 {} / p99 {}",
+        fmt_seconds(ns_as_seconds(qw.quantile(0.50))),
+        fmt_seconds(ns_as_seconds(qw.quantile(0.99))),
+        fmt_seconds(ns_as_seconds(sv.quantile(0.50))),
+        fmt_seconds(ns_as_seconds(sv.quantile(0.99)))
+    );
+    println!();
+    println!("Prometheus sample (peak load point, first lines):");
+    for line in peak.metrics.to_prometheus().lines().take(8) {
+        println!("  {line}");
+    }
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");

@@ -10,6 +10,7 @@
 use crate::bops::BopsTally;
 use crate::config::ArchConfig;
 use crate::pe::pe_pass;
+use crate::stats::StageCycles;
 use crate::transform::{reversed_x_slice, to_limb_vector};
 use apc_bignum::Nat;
 
@@ -30,6 +31,26 @@ pub struct RunOutcome {
     pub pe_passes: u64,
     /// bops accounting across all PEs.
     pub tally: BopsTally,
+    /// Per-stage busy-cycle attribution: Converter / IPU / GU cycles scale
+    /// with executed passes (skipped zero blocks leave them idle — the
+    /// sparsity win), the Adder Tree with scheduled pass groups (§VII
+    /// utilization analysis; Fig. 9a stages).
+    pub stages: StageCycles,
+    /// PE-grid slots scheduled (pass groups × N_PE, §III): the
+    /// denominator of [`RunOutcome::pe_utilization`].
+    pub pe_slots: u64,
+}
+
+impl RunOutcome {
+    /// PE-grid utilization for this run: executed passes over scheduled
+    /// slots (§VII utilization analysis; 0 for the degenerate zero run).
+    pub fn pe_utilization(&self) -> f64 {
+        if self.pe_slots == 0 {
+            0.0
+        } else {
+            self.pe_passes as f64 / self.pe_slots as f64
+        }
+    }
 }
 
 impl Accelerator {
@@ -91,6 +112,8 @@ impl Accelerator {
                 cycles: self.config.pipeline_fill_cycles,
                 pe_passes: 0,
                 tally: BopsTally::default(),
+                stages: StageCycles::default(),
+                pe_slots: 0,
             };
         }
         let l = self.config.limb_bits;
@@ -160,11 +183,26 @@ impl Accelerator {
         let pass_groups = (blocks * windows).div_ceil(self.config.n_pe) as u64;
         let cycles = pass_groups * u64::from(l) + self.config.pipeline_fill_cycles;
 
+        // Stage attribution (§VII utilization analysis): each *executed*
+        // pass streams l index bits through its PE's Converter, IPUs and
+        // GU (skipped zero passes leave them idle — sparsity), while the
+        // shared Adder Tree is busy for every scheduled streaming group.
+        let per_pe_busy = pe_passes * u64::from(l);
+        let stages = StageCycles {
+            converter: per_pe_busy,
+            ipu: per_pe_busy,
+            gu: per_pe_busy,
+            adder_tree: pass_groups * u64::from(l),
+        };
+        let pe_slots = pass_groups * self.config.n_pe as u64;
+
         RunOutcome {
             product,
             cycles,
             pe_passes,
             tally,
+            stages,
+            pe_slots,
         }
     }
 }
@@ -351,6 +389,32 @@ mod tests {
         // a − a = 0.
         let x = pattern(10, 9);
         assert!(acc.sub(&x, &x).sum.is_zero());
+    }
+
+    #[test]
+    fn stage_attribution_is_consistent_with_the_schedule() {
+        let acc = Accelerator::new_default();
+        let a = pattern(8, 11);
+        let b = pattern(8, 13);
+        let out = acc.multiply(&a, &b);
+        let l = u64::from(acc.config().limb_bits);
+        // Per-PE stages scale with executed passes; the shared Adder Tree
+        // with scheduled groups (= total cycles minus pipeline fill).
+        assert_eq!(out.stages.converter, out.pe_passes * l);
+        assert_eq!(out.stages.ipu, out.stages.converter);
+        assert_eq!(out.stages.gu, out.stages.converter);
+        assert_eq!(
+            out.stages.adder_tree,
+            out.cycles - acc.config().pipeline_fill_cycles
+        );
+        // Utilization is a ratio in (0, 1]: passes never exceed slots.
+        assert!(out.pe_passes <= out.pe_slots);
+        let u = out.pe_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        // The zero run schedules nothing.
+        let zero = acc.multiply(&a, &Nat::zero());
+        assert_eq!(zero.stages, StageCycles::default());
+        assert_eq!(zero.pe_utilization(), 0.0);
     }
 
     #[test]

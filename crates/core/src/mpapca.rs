@@ -222,6 +222,27 @@ impl Device {
         self.mul(a, &a.clone())
     }
 
+    /// Long multiplication through the *structural* Fig. 9a pipeline
+    /// (Converter → IPUs → GU → Adder Tree) instead of the analytic cycle
+    /// model: the result is bit-exact like [`Device::mul`], but the cycles
+    /// come from the structural PE(b, w) schedule, and the per-stage
+    /// busy-cycle attribution plus PE-grid occupancy are folded into the
+    /// handle's statistics (§VII utilization analysis) — read them back
+    /// via [`DeviceStats::pe_utilization`] and `DeviceStats::stage_cycles`.
+    /// Much slower than [`Device::mul`]; intended for calibration and
+    /// observability runs, not application-scale workloads.
+    pub fn mul_structural(&self, a: &Nat, b: &Nat) -> Nat {
+        let acc = crate::accelerator::Accelerator::new(self.config.clone());
+        let out = acc.multiply(a, b);
+        self.stats.record_stages(&out.stages, out.pe_passes, out.pe_slots);
+        self.record(
+            OpClass::Mul,
+            out.cycles,
+            (a.bit_len() + b.bit_len() + out.product.bit_len()) / 8,
+        );
+        out.product
+    }
+
     /// Arbitrary-precision inner product — the device's native primitive
     /// (§V-C): all element products run as one batch across the PE array.
     pub fn inner_product(&self, xs: &[Nat], ys: &[Nat]) -> Nat {
@@ -562,6 +583,24 @@ mod tests {
         assert_eq!(stats.ops_for(OpClass::Mul), threads * per_thread);
         let expected_cycles = d.mul_cycles(a.bit_len(), b.bit_len()) * threads * per_thread;
         assert_eq!(stats.cycles, expected_cycles, "no increments lost");
+    }
+
+    #[test]
+    fn structural_mul_feeds_stage_attribution() {
+        let d = Device::new_default();
+        let a = Nat::power_of_two(2048) - Nat::from(19u64);
+        let b = Nat::power_of_two(2047) + Nat::from(7u64);
+        assert_eq!(d.mul_structural(&a, &b), &a * &b);
+        let s = d.stats();
+        assert_eq!(s.ops_for(OpClass::Mul), 1);
+        assert!(s.stage_cycles.converter > 0, "stage counters populated");
+        assert!(s.stage_cycles.adder_tree > 0);
+        let u = s.pe_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        // The analytic path leaves stage counters untouched.
+        let analytic = Device::new_default();
+        let _ = analytic.mul(&a, &b);
+        assert_eq!(analytic.stats().pe_slots, 0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::bops::BopsTally;
 use crate::config::ArchConfig;
+use apc_trace::{HistogramSnapshot, Log2Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Operation classes tracked by the runtime (matching the Fig. 2
@@ -62,6 +63,85 @@ impl OpClass {
     }
 }
 
+/// Pipeline stages of the bitflow datapath (Fig. 9a: Converter → IPUs →
+/// Gather Unit → Adder Tree), for per-stage busy-cycle attribution — the
+/// software analogue of the per-stage hardware counters a bit-serial
+/// design needs to be tunable (the paper's §VII utilization analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Pattern generation from q-limb blocks (§IV-B Converter).
+    Converter,
+    /// Inner-product units indexing the pattern table (§IV-B IPU).
+    Ipu,
+    /// The Gather Unit collapsing strided partial flows (§V-B GU).
+    Gu,
+    /// The Adder Tree summing across PEs per window (Fig. 9a AT).
+    AdderTree,
+}
+
+impl Stage {
+    /// All stages in pipeline order (Fig. 9a, left to right).
+    pub const ALL: [Stage; 4] = [Stage::Converter, Stage::Ipu, Stage::Gu, Stage::AdderTree];
+
+    /// Stable display name (Fig. 9a block labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Converter => "Converter",
+            Stage::Ipu => "IPU",
+            Stage::Gu => "GU",
+            Stage::AdderTree => "AdderTree",
+        }
+    }
+}
+
+/// Busy cycles attributed to each pipeline stage (§VII utilization
+/// analysis). These are *occupancy* counters for concurrent pipeline
+/// stages — like hardware stage counters, they may individually approach
+/// the total cycle count and their sum may exceed it; the interesting
+/// signal is their ratio (which stage bounds the design, Fig. 13).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCycles {
+    /// Converter busy cycles (pattern generation, §IV-B).
+    pub converter: u64,
+    /// IPU busy cycles (table indexing, §IV-B).
+    pub ipu: u64,
+    /// Gather Unit busy cycles (§V-B).
+    pub gu: u64,
+    /// Adder Tree busy cycles (Fig. 9a AT).
+    pub adder_tree: u64,
+}
+
+impl StageCycles {
+    /// Busy cycles for one stage (§VII utilization analysis).
+    pub fn for_stage(&self, stage: Stage) -> u64 {
+        match stage {
+            Stage::Converter => self.converter,
+            Stage::Ipu => self.ipu,
+            Stage::Gu => self.gu,
+            Stage::AdderTree => self.adder_tree,
+        }
+    }
+
+    /// Adds another attribution into this one (§VII-B accounting).
+    pub fn merge(&mut self, other: &StageCycles) {
+        self.converter += other.converter;
+        self.ipu += other.ipu;
+        self.gu += other.gu;
+        self.adder_tree += other.adder_tree;
+    }
+
+    /// Saturating per-stage difference `self − baseline` (§VII-B
+    /// snapshot/delta accounting).
+    pub fn delta_since(&self, baseline: &StageCycles) -> StageCycles {
+        StageCycles {
+            converter: self.converter.saturating_sub(baseline.converter),
+            ipu: self.ipu.saturating_sub(baseline.ipu),
+            gu: self.gu.saturating_sub(baseline.gu),
+            adder_tree: self.adder_tree.saturating_sub(baseline.adder_tree),
+        }
+    }
+}
+
 /// Accumulated device statistics (§VII-B accounting).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceStats {
@@ -76,6 +156,16 @@ pub struct DeviceStats {
     /// bops accounting from the functional units (when the bit-level path
     /// ran) or from the analytic model.
     pub bops: BopsTally,
+    /// Per-stage busy-cycle attribution from structural runs (§VII
+    /// utilization analysis; zero when only the analytic model ran).
+    pub stage_cycles: StageCycles,
+    /// PE passes actually executed on the grid (zero blocks skipped).
+    pub pe_passes: u64,
+    /// PE-grid slots scheduled (pass groups × N_PE, §III).
+    pub pe_slots: u64,
+    /// Cycle-domain log2 histogram of per-operation attributed cycles
+    /// (the core-side latency distribution — no wall clock here).
+    pub op_cycles: HistogramSnapshot,
 }
 
 impl DeviceStats {
@@ -85,6 +175,28 @@ impl DeviceStats {
         self.cycles_by_class[class.index()] += cycles;
         self.ops_by_class[class.index()] += 1;
         self.llc_bytes += llc_bytes;
+        // Observability extra (gated inside `record` on the apc-trace
+        // switch): never affects the counters above.
+        self.op_cycles.record(cycles);
+    }
+
+    /// Folds a structural run's per-stage attribution and PE-grid
+    /// occupancy into the totals (§VII utilization analysis).
+    pub fn record_stages(&mut self, stages: &StageCycles, pe_passes: u64, pe_slots: u64) {
+        self.stage_cycles.merge(stages);
+        self.pe_passes += pe_passes;
+        self.pe_slots += pe_slots;
+    }
+
+    /// PE-grid utilization: executed passes over scheduled slots (§VII
+    /// utilization analysis; 0 when nothing structural ran). Below 1.0
+    /// means zero blocks were skipped or the last pass group was ragged.
+    pub fn pe_utilization(&self) -> f64 {
+        if self.pe_slots == 0 {
+            0.0
+        } else {
+            self.pe_passes as f64 / self.pe_slots as f64
+        }
     }
 
     /// Cycles attributed to one class (Fig. 2 breakdown).
@@ -143,6 +255,10 @@ impl DeviceStats {
                 .saturating_sub(baseline.bops.bit_serial_reference),
             skipped_zero: self.bops.skipped_zero.saturating_sub(baseline.bops.skipped_zero),
         };
+        d.stage_cycles = self.stage_cycles.delta_since(&baseline.stage_cycles);
+        d.pe_passes = self.pe_passes.saturating_sub(baseline.pe_passes);
+        d.pe_slots = self.pe_slots.saturating_sub(baseline.pe_slots);
+        d.op_cycles = self.op_cycles.delta_since(&baseline.op_cycles);
         d
     }
 
@@ -155,6 +271,10 @@ impl DeviceStats {
         }
         self.llc_bytes += other.llc_bytes;
         self.bops.merge(&other.bops);
+        self.stage_cycles.merge(&other.stage_cycles);
+        self.pe_passes += other.pe_passes;
+        self.pe_slots += other.pe_slots;
+        self.op_cycles.merge(&other.op_cycles);
     }
 }
 
@@ -179,6 +299,13 @@ pub struct SharedDeviceStats {
     weighted_gather: AtomicU64,
     bit_serial_reference: AtomicU64,
     skipped_zero: AtomicU64,
+    stage_converter: AtomicU64,
+    stage_ipu: AtomicU64,
+    stage_gu: AtomicU64,
+    stage_at: AtomicU64,
+    pe_passes: AtomicU64,
+    pe_slots: AtomicU64,
+    op_cycles: Log2Histogram,
 }
 
 impl SharedDeviceStats {
@@ -189,6 +316,21 @@ impl SharedDeviceStats {
         self.cycles_by_class[class.index()].fetch_add(cycles, Ordering::Relaxed);
         self.ops_by_class[class.index()].fetch_add(1, Ordering::Relaxed);
         self.llc_bytes.fetch_add(llc_bytes, Ordering::Relaxed);
+        // Observability extra (gated inside `record` on the apc-trace
+        // switch): never affects the counters above.
+        self.op_cycles.record(cycles);
+    }
+
+    /// Folds a structural run's per-stage attribution and PE-grid
+    /// occupancy into the totals (§VII utilization analysis), like
+    /// [`DeviceStats::record_stages`] but through `&self`.
+    pub fn record_stages(&self, stages: &StageCycles, pe_passes: u64, pe_slots: u64) {
+        self.stage_converter.fetch_add(stages.converter, Ordering::Relaxed);
+        self.stage_ipu.fetch_add(stages.ipu, Ordering::Relaxed);
+        self.stage_gu.fetch_add(stages.gu, Ordering::Relaxed);
+        self.stage_at.fetch_add(stages.adder_tree, Ordering::Relaxed);
+        self.pe_passes.fetch_add(pe_passes, Ordering::Relaxed);
+        self.pe_slots.fetch_add(pe_slots, Ordering::Relaxed);
     }
 
     /// Folds a bops tally from the functional units into the totals
@@ -222,6 +364,15 @@ impl SharedDeviceStats {
             bit_serial_reference: self.bit_serial_reference.load(Ordering::Relaxed),
             skipped_zero: self.skipped_zero.load(Ordering::Relaxed),
         };
+        s.stage_cycles = StageCycles {
+            converter: self.stage_converter.load(Ordering::Relaxed),
+            ipu: self.stage_ipu.load(Ordering::Relaxed),
+            gu: self.stage_gu.load(Ordering::Relaxed),
+            adder_tree: self.stage_at.load(Ordering::Relaxed),
+        };
+        s.pe_passes = self.pe_passes.load(Ordering::Relaxed);
+        s.pe_slots = self.pe_slots.load(Ordering::Relaxed);
+        s.op_cycles = self.op_cycles.snapshot();
         s
     }
 
@@ -238,9 +389,16 @@ impl SharedDeviceStats {
             &self.weighted_gather,
             &self.bit_serial_reference,
             &self.skipped_zero,
+            &self.stage_converter,
+            &self.stage_ipu,
+            &self.stage_gu,
+            &self.stage_at,
+            &self.pe_passes,
+            &self.pe_slots,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
+        self.op_cycles.reset();
     }
 }
 
@@ -315,6 +473,60 @@ mod tests {
     fn class_names_are_stable() {
         for c in OpClass::ALL {
             assert!(!c.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn stage_attribution_merges_and_deltas() {
+        let shared = SharedDeviceStats::default();
+        shared.record_stages(
+            &StageCycles { converter: 10, ipu: 10, gu: 10, adder_tree: 4 },
+            5,
+            8,
+        );
+        let before = shared.snapshot();
+        shared.record_stages(
+            &StageCycles { converter: 6, ipu: 6, gu: 6, adder_tree: 2 },
+            3,
+            4,
+        );
+        let now = shared.snapshot();
+        assert_eq!(now.stage_cycles.for_stage(Stage::Converter), 16);
+        assert_eq!(now.stage_cycles.for_stage(Stage::AdderTree), 6);
+        assert_eq!(now.pe_passes, 8);
+        assert_eq!(now.pe_slots, 12);
+        assert!((now.pe_utilization() - 8.0 / 12.0).abs() < 1e-12);
+        let delta = now.delta_since(&before);
+        assert_eq!(delta.stage_cycles.ipu, 6);
+        assert_eq!(delta.pe_passes, 3);
+        assert_eq!(delta.pe_slots, 4);
+        // Merge folds the same fields forward.
+        let mut merged = before.clone();
+        merged.merge(&delta);
+        assert_eq!(merged.stage_cycles, now.stage_cycles);
+        assert_eq!(merged.pe_passes, now.pe_passes);
+    }
+
+    #[test]
+    fn op_cycle_histogram_tracks_recorded_operations() {
+        let shared = SharedDeviceStats::default();
+        shared.record(OpClass::Mul, 100, 0);
+        let before = shared.snapshot();
+        shared.record(OpClass::Mul, 40, 0);
+        shared.record(OpClass::Div, 7, 0);
+        let now = shared.snapshot();
+        assert_eq!(now.op_cycles.count, 3);
+        assert_eq!(now.op_cycles.sum, 147);
+        let delta = now.delta_since(&before);
+        assert_eq!(delta.op_cycles.count, 2);
+        assert_eq!(delta.op_cycles.sum, 47);
+    }
+
+    #[test]
+    fn utilization_of_an_idle_device_is_zero() {
+        assert_eq!(DeviceStats::default().pe_utilization(), 0.0);
+        for stage in Stage::ALL {
+            assert!(!stage.name().is_empty());
         }
     }
 }

@@ -49,6 +49,49 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Why a [`crate::ServeConfig`] cannot produce a working service.
+///
+/// Returned by [`crate::ServeHandle::try_start`]: a degenerate
+/// configuration is a typed construction error, not a silently clamped
+/// value or a queue that admits nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `queue_capacity` was 0 — every submission would be rejected with
+    /// [`SubmitError::QueueFull`].
+    ZeroCapacity,
+    /// `min_bucket_bits` was 0 — there is no zero-width operand bucket.
+    ZeroMinBucketBits,
+    /// `min_bucket_bits` exceeds `max_operand_bits`, so no bucket ladder
+    /// can span the range.
+    MinAboveMax {
+        /// The configured smallest bucket ceiling.
+        min_bucket_bits: u64,
+        /// The configured admission ceiling it exceeds.
+        max_operand_bits: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCapacity => {
+                write!(f, "queue_capacity must be at least 1")
+            }
+            ConfigError::ZeroMinBucketBits => {
+                write!(f, "min_bucket_bits must be at least 1")
+            }
+            ConfigError::MinAboveMax { min_bucket_bits, max_operand_bits } => {
+                write!(
+                    f,
+                    "min_bucket_bits ({min_bucket_bits}) exceeds max_operand_bits ({max_operand_bits})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Failure of a blocking wait on a submitted job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
@@ -89,5 +132,14 @@ mod tests {
         assert!(SubmitError::Shutdown.to_string().contains("shut down"));
         let wrapped = ServeError::from(SubmitError::Shutdown).to_string();
         assert!(wrapped.contains("rejected"), "{wrapped}");
+    }
+
+    #[test]
+    fn config_errors_render_their_context() {
+        assert!(ConfigError::ZeroCapacity.to_string().contains("queue_capacity"));
+        assert!(ConfigError::ZeroMinBucketBits.to_string().contains("min_bucket_bits"));
+        let mam = ConfigError::MinAboveMax { min_bucket_bits: 512, max_operand_bits: 256 }
+            .to_string();
+        assert!(mam.contains("512") && mam.contains("256"), "{mam}");
     }
 }

@@ -50,7 +50,7 @@ mod queue;
 mod scheduler;
 mod worker;
 
-pub use error::{ServeError, SubmitError};
+pub use error::{ConfigError, ServeError, SubmitError};
 pub use job::{DeadlineOutcome, Job, JobId, JobOutput, JobReport, JobSpec};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use scheduler::SchedPolicy;
@@ -148,13 +148,15 @@ impl JobTicket {
 
 impl ServeHandle {
     /// Starts the service: spawns the scheduler and `workers` device
-    /// workers (at least one).
-    pub fn start(config: ServeConfig) -> ServeHandle {
+    /// workers (at least one). Degenerate configurations (zero queue
+    /// capacity, zero or inverted bucket range) are typed
+    /// [`ConfigError`]s, not silently clamped values.
+    pub fn try_start(config: ServeConfig) -> Result<ServeHandle, ConfigError> {
         let queue = Arc::new(JobQueue::new(
-            config.queue_capacity.max(1),
+            config.queue_capacity,
             config.min_bucket_bits,
             config.max_operand_bits,
-        ));
+        )?);
         let metrics = Arc::new(ServeMetrics::default());
         // Rendezvous dispatch: batches form only when a worker is free,
         // so urgency reordering stays possible until the last moment.
@@ -177,7 +179,7 @@ impl ServeHandle {
                 scheduler::scheduler_loop(queue, tx, batch_max, policy, metrics);
             }));
         }
-        ServeHandle {
+        Ok(ServeHandle {
             inner: Arc::new(Inner {
                 queue,
                 metrics,
@@ -185,7 +187,19 @@ impl ServeHandle {
                 next_id: AtomicU64::new(0),
                 lifecycle: Mutex::new(Lifecycle { threads }),
             }),
-        }
+        })
+    }
+
+    /// [`ServeHandle::try_start`], panicking on a degenerate
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`ConfigError`] — call [`ServeHandle::try_start`] to
+    /// handle it as a value instead.
+    pub fn start(config: ServeConfig) -> ServeHandle {
+        // apc-lint: allow(L2) -- documented panic (see # Panics); try_start is the fallible form
+        ServeHandle::try_start(config).expect("degenerate ServeConfig: use try_start")
     }
 
     /// Starts a service with the default configuration.
@@ -197,7 +211,13 @@ impl ServeHandle {
     /// exactly one terminal report; on rejection the typed error says
     /// why and nothing was enqueued.
     pub fn submit(&self, job: Job, spec: JobSpec) -> Result<JobTicket, SubmitError> {
+        let started = Instant::now();
         let admitted = self.admit(job, spec);
+        // Admission span covers every attempt — rejected submissions are
+        // latency the tenant observed too.
+        self.inner
+            .metrics
+            .record_submit_span(apc_trace::span::duration_ns(started.elapsed()));
         if let Err(e) = &admitted {
             self.inner.metrics.record_rejection(e);
         }
@@ -460,6 +480,49 @@ mod tests {
         let m = serve.metrics();
         assert_eq!(m.completed, threads * per_thread);
         assert_eq!(m.cycles_for(cambricon_p::stats::OpClass::Mul) > 0, true);
+    }
+
+    #[test]
+    fn degenerate_configs_fail_construction_with_typed_errors() {
+        // Regression: queue_capacity 0 used to be silently clamped to 1,
+        // and an inverted bucket range built a nonsensical ladder.
+        let err = ServeHandle::try_start(ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        })
+        .expect_err("zero capacity must not start");
+        assert_eq!(err, ConfigError::ZeroCapacity);
+        let err = ServeHandle::try_start(ServeConfig {
+            min_bucket_bits: 1 << 24,
+            max_operand_bits: 1 << 12,
+            ..ServeConfig::default()
+        })
+        .expect_err("inverted bucket range must not start");
+        assert!(matches!(err, ConfigError::MinAboveMax { .. }), "{err:?}");
+        // A valid config still starts through the fallible path.
+        let serve = ServeHandle::try_start(ServeConfig::default()).expect("valid config");
+        serve.shutdown();
+    }
+
+    #[test]
+    fn completed_jobs_populate_the_span_histograms() {
+        let serve = ServeHandle::start(ServeConfig { workers: 1, ..ServeConfig::default() });
+        for salt in 0..4u64 {
+            serve
+                .submit_wait(mul_job(1024, salt), JobSpec::default())
+                .expect("accepted and completed");
+        }
+        serve.shutdown();
+        let m = serve.metrics();
+        assert_eq!(m.submit_ns.count, 4, "one admission span per attempt");
+        assert_eq!(m.queue_wait_ns.count, 4, "one queue-wait span per job");
+        assert_eq!(m.service_ns.count, 4);
+        assert_eq!(m.service_cycles.count, 4);
+        assert_eq!(m.batch_form_ns.count, m.batches);
+        assert_eq!(m.dispatch_wait_ns.count, m.batches);
+        // Cycle-domain histogram totals equal the per-class cycle counters.
+        let class_total: u64 = m.cycles_by_class.iter().sum();
+        assert_eq!(m.service_cycles.sum, class_total + m.cycles_unattributed);
     }
 
     #[test]

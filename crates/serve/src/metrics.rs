@@ -1,15 +1,33 @@
-//! Service observability counters.
+//! Service observability counters and latency histograms.
 //!
 //! Everything is a relaxed atomic (the `SharedDeviceStats` idiom from
 //! `cambricon-p`), so tenants, the scheduler, and the workers all record
-//! without locks and a snapshot never stalls the service.
+//! without locks and a snapshot never stalls the service. Latency
+//! distributions are `apc_trace::Log2Histogram`s — five `Instant`-domain
+//! spans covering the full job path (admission → queue wait → batch
+//! formation → dispatch wait → kernel service) plus one cycle-domain
+//! histogram of attributed service cycles. The two time domains are never
+//! mixed: every histogram's field name carries its unit.
+//!
+//! [`MetricsSnapshot`] is a plain struct (no atomics, no locks) and can
+//! render itself to the Prometheus text exposition format or JSON via
+//! `apc_trace::export`.
 
+use apc_trace::export::{self, Metric};
+use apc_trace::{HistogramSnapshot, Log2Histogram};
 use cambricon_p::stats::OpClass;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-fn class_index(class: OpClass) -> usize {
-    // OpClass::ALL is the stable report order used across the workspace.
-    OpClass::ALL.iter().position(|&c| c == class).unwrap_or(OpClass::ALL.len() - 1)
+/// Number of per-class counter slots, derived from the canonical class
+/// list so a new `OpClass` variant can never silently alias an existing
+/// slot (the pre-fix code hard-coded 7 and folded misses into `Other`).
+const N_CLASSES: usize = OpClass::ALL.len();
+
+/// Index of `class` in the stable `OpClass::ALL` report order, or `None`
+/// if the class is missing from `ALL` — callers route that to the
+/// dedicated unattributed counters instead of misattributing.
+fn class_index(class: OpClass) -> Option<usize> {
+    OpClass::ALL.iter().position(|&c| c == class)
 }
 
 /// Lock-free counters shared by every part of the service.
@@ -25,8 +43,21 @@ pub struct ServeMetrics {
     batches: AtomicU64,
     batched_jobs: AtomicU64,
     max_queue_depth: AtomicUsize,
-    cycles_by_class: [AtomicU64; 7],
-    jobs_by_class: [AtomicU64; 7],
+    cycles_by_class: [AtomicU64; N_CLASSES],
+    jobs_by_class: [AtomicU64; N_CLASSES],
+    // Misattribution guards: completions whose class is missing from
+    // `OpClass::ALL` land here (with a debug_assert) instead of being
+    // silently folded into the last class.
+    cycles_unattributed: AtomicU64,
+    jobs_unattributed: AtomicU64,
+    // Instant-domain spans over the job path, in nanoseconds.
+    submit_ns: Log2Histogram,
+    queue_wait_ns: Log2Histogram,
+    batch_form_ns: Log2Histogram,
+    dispatch_wait_ns: Log2Histogram,
+    service_ns: Log2Histogram,
+    // Cycle-domain distribution of attributed service cost.
+    service_cycles: Log2Histogram,
 }
 
 impl ServeMetrics {
@@ -34,6 +65,12 @@ impl ServeMetrics {
     pub(crate) fn record_submit(&self, depth: usize) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records the admission span of one submission attempt (accepted or
+    /// rejected — admission latency covers both outcomes).
+    pub(crate) fn record_submit_span(&self, ns: u64) {
+        self.submit_ns.record(ns);
     }
 
     /// Records a rejection.
@@ -48,28 +85,57 @@ impl ServeMetrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one dispatched batch of `jobs` jobs.
-    pub(crate) fn record_batch(&self, jobs: usize) {
+    /// Records one dispatched batch of `jobs` jobs that took `form_ns`
+    /// nanoseconds to form under the queue lock.
+    pub(crate) fn record_batch(&self, jobs: usize, form_ns: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
+        self.batch_form_ns.record(form_ns);
     }
 
-    /// Records one completed job with its attributed service cycles.
-    pub(crate) fn record_completion(&self, class: OpClass, cycles: u64, missed_deadline: bool) {
+    /// Records the batch's wait between formation and worker pickup.
+    pub(crate) fn record_dispatch_wait(&self, ns: u64) {
+        self.dispatch_wait_ns.record(ns);
+    }
+
+    /// Records one completed job: attributed service cycles by class,
+    /// deadline outcome, and the job's queue-wait and kernel-wall spans.
+    pub(crate) fn record_completion(
+        &self,
+        class: OpClass,
+        cycles: u64,
+        missed_deadline: bool,
+        queue_wait_ns: u64,
+        service_ns: u64,
+    ) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        let i = class_index(class);
-        self.cycles_by_class[i].fetch_add(cycles, Ordering::Relaxed);
-        self.jobs_by_class[i].fetch_add(1, Ordering::Relaxed);
+        match class_index(class) {
+            Some(i) => {
+                self.cycles_by_class[i].fetch_add(cycles, Ordering::Relaxed);
+                self.jobs_by_class[i].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                debug_assert!(
+                    false,
+                    "OpClass {class:?} is missing from OpClass::ALL — update the class list"
+                );
+                self.cycles_unattributed.fetch_add(cycles, Ordering::Relaxed);
+                self.jobs_unattributed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         if missed_deadline {
             self.deadline_missed.fetch_add(1, Ordering::Relaxed);
         }
+        self.queue_wait_ns.record(queue_wait_ns);
+        self.service_ns.record(service_ns);
+        self.service_cycles.record(cycles);
     }
 
     /// A plain copy of the current totals.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut cycles_by_class = [0u64; 7];
-        let mut jobs_by_class = [0u64; 7];
-        for i in 0..7 {
+        let mut cycles_by_class = [0u64; N_CLASSES];
+        let mut jobs_by_class = [0u64; N_CLASSES];
+        for i in 0..N_CLASSES {
             cycles_by_class[i] = self.cycles_by_class[i].load(Ordering::Relaxed);
             jobs_by_class[i] = self.jobs_by_class[i].load(Ordering::Relaxed);
         }
@@ -86,6 +152,14 @@ impl ServeMetrics {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             cycles_by_class,
             jobs_by_class,
+            cycles_unattributed: self.cycles_unattributed.load(Ordering::Relaxed),
+            jobs_unattributed: self.jobs_unattributed.load(Ordering::Relaxed),
+            submit_ns: self.submit_ns.snapshot(),
+            queue_wait_ns: self.queue_wait_ns.snapshot(),
+            batch_form_ns: self.batch_form_ns.snapshot(),
+            dispatch_wait_ns: self.dispatch_wait_ns.snapshot(),
+            service_ns: self.service_ns.snapshot(),
+            service_cycles: self.service_cycles.snapshot(),
         }
     }
 }
@@ -115,20 +189,38 @@ pub struct MetricsSnapshot {
     /// Highest queue depth observed at submission time.
     pub max_queue_depth: usize,
     /// Attributed device service cycles, indexed like `OpClass::ALL`.
-    pub cycles_by_class: [u64; 7],
+    pub cycles_by_class: [u64; N_CLASSES],
     /// Completed jobs per class, indexed like `OpClass::ALL`.
-    pub jobs_by_class: [u64; 7],
+    pub jobs_by_class: [u64; N_CLASSES],
+    /// Service cycles whose class was missing from `OpClass::ALL`
+    /// (always 0 unless the class list and this crate drift apart).
+    pub cycles_unattributed: u64,
+    /// Completed jobs whose class was missing from `OpClass::ALL`.
+    pub jobs_unattributed: u64,
+    /// Admission-span latency (ns), over all submission attempts.
+    pub submit_ns: HistogramSnapshot,
+    /// Per-job wait from acceptance to worker pickup (ns).
+    pub queue_wait_ns: HistogramSnapshot,
+    /// Per-batch formation time under the queue lock (ns).
+    pub batch_form_ns: HistogramSnapshot,
+    /// Per-batch wait between formation and worker pickup (ns).
+    pub dispatch_wait_ns: HistogramSnapshot,
+    /// Per-job kernel wall time on the worker's device (ns).
+    pub service_ns: HistogramSnapshot,
+    /// Per-job attributed service cost in *device cycles* (cycle domain,
+    /// not wall time — the device model never reads a clock).
+    pub service_cycles: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
     /// Attributed service cycles for one operation class.
     pub fn cycles_for(&self, class: OpClass) -> u64 {
-        self.cycles_by_class[class_index(class)]
+        class_index(class).map_or(0, |i| self.cycles_by_class[i])
     }
 
     /// Completed jobs for one operation class.
     pub fn jobs_for(&self, class: OpClass) -> u64 {
-        self.jobs_by_class[class_index(class)]
+        class_index(class).map_or(0, |i| self.jobs_by_class[i])
     }
 
     /// Mean jobs per dispatched batch (0 when nothing was dispatched).
@@ -138,6 +230,145 @@ impl MetricsSnapshot {
         } else {
             self.batched_jobs as f64 / self.batches as f64
         }
+    }
+
+    /// The snapshot as a flat metric list, ready for either exporter.
+    /// Counters first, then gauges, then the six histograms; per-class
+    /// counters carry a `class` label (plus one `unattributed` variant).
+    pub fn export_metrics(&self) -> Vec<Metric> {
+        let mut out = vec![
+            Metric::counter(
+                "apc_serve_jobs_submitted_total",
+                "Jobs accepted into the queue.",
+                self.submitted,
+            ),
+            Metric::counter(
+                "apc_serve_jobs_completed_total",
+                "Jobs that received their terminal report.",
+                self.completed,
+            ),
+        ];
+        for (reason, count) in [
+            ("queue_full", self.rejected_full),
+            ("oversized", self.rejected_oversized),
+            ("shutdown", self.rejected_shutdown),
+            ("invalid", self.rejected_invalid),
+        ] {
+            out.push(
+                Metric::counter(
+                    "apc_serve_jobs_rejected_total",
+                    "Admission rejections by reason.",
+                    count,
+                )
+                .with_label("reason", reason),
+            );
+        }
+        out.push(Metric::counter(
+            "apc_serve_deadline_missed_total",
+            "Completed jobs that missed their deadline.",
+            self.deadline_missed,
+        ));
+        out.push(Metric::counter(
+            "apc_serve_batches_total",
+            "Batches dispatched to the worker pool.",
+            self.batches,
+        ));
+        out.push(Metric::counter(
+            "apc_serve_batched_jobs_total",
+            "Jobs carried by dispatched batches.",
+            self.batched_jobs,
+        ));
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            out.push(
+                Metric::counter(
+                    "apc_serve_service_cycles_total",
+                    "Attributed device service cycles by class.",
+                    self.cycles_by_class[i],
+                )
+                .with_label("class", class.name()),
+            );
+        }
+        out.push(
+            Metric::counter(
+                "apc_serve_service_cycles_total",
+                "Attributed device service cycles by class.",
+                self.cycles_unattributed,
+            )
+            .with_label("class", "unattributed"),
+        );
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            out.push(
+                Metric::counter(
+                    "apc_serve_jobs_by_class_total",
+                    "Completed jobs by class.",
+                    self.jobs_by_class[i],
+                )
+                .with_label("class", class.name()),
+            );
+        }
+        out.push(
+            Metric::counter(
+                "apc_serve_jobs_by_class_total",
+                "Completed jobs by class.",
+                self.jobs_unattributed,
+            )
+            .with_label("class", "unattributed"),
+        );
+        out.push(Metric::gauge(
+            "apc_serve_max_queue_depth",
+            "Highest queue depth observed at submission time.",
+            self.max_queue_depth as f64,
+        ));
+        out.push(Metric::gauge(
+            "apc_serve_mean_batch_size",
+            "Mean jobs per dispatched batch.",
+            self.mean_batch_size(),
+        ));
+        for (name, help, h) in [
+            (
+                "apc_serve_submit_ns",
+                "Admission span latency in nanoseconds (all attempts).",
+                &self.submit_ns,
+            ),
+            (
+                "apc_serve_queue_wait_ns",
+                "Acceptance-to-pickup wait in nanoseconds.",
+                &self.queue_wait_ns,
+            ),
+            (
+                "apc_serve_batch_form_ns",
+                "Batch formation time in nanoseconds.",
+                &self.batch_form_ns,
+            ),
+            (
+                "apc_serve_dispatch_wait_ns",
+                "Formation-to-pickup wait in nanoseconds.",
+                &self.dispatch_wait_ns,
+            ),
+            (
+                "apc_serve_service_ns",
+                "Kernel wall time in nanoseconds.",
+                &self.service_ns,
+            ),
+            (
+                "apc_serve_service_cycles",
+                "Attributed service cost in device cycles.",
+                &self.service_cycles,
+            ),
+        ] {
+            out.push(Metric::histogram(name, help, h.clone()));
+        }
+        out
+    }
+
+    /// The snapshot in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        export::to_prometheus(&self.export_metrics())
+    }
+
+    /// The snapshot as a JSON document.
+    pub fn to_json(&self) -> String {
+        export::to_json(&self.export_metrics())
     }
 }
 
@@ -154,10 +385,10 @@ mod tests {
         m.record_submit(3);
         m.record_rejection(&SubmitError::QueueFull { capacity: 4 });
         m.record_rejection(&SubmitError::Shutdown);
-        m.record_batch(2);
-        m.record_batch(1);
-        m.record_completion(OpClass::Mul, 100, false);
-        m.record_completion(OpClass::Div, 40, true);
+        m.record_batch(2, 500);
+        m.record_batch(1, 700);
+        m.record_completion(OpClass::Mul, 100, false, 2_000, 9_000);
+        m.record_completion(OpClass::Div, 40, true, 3_000, 4_000);
         let s = m.snapshot();
         assert_eq!(s.submitted, 3);
         assert_eq!(s.max_queue_depth, 5);
@@ -170,5 +401,63 @@ mod tests {
         assert_eq!(s.cycles_for(OpClass::Mul), 100);
         assert_eq!(s.cycles_for(OpClass::Div), 40);
         assert_eq!(s.jobs_for(OpClass::Mul), 1);
+    }
+
+    #[test]
+    fn class_arrays_are_sized_from_the_canonical_list() {
+        // Regression for the misattribution fix: the arrays derive their
+        // length from OpClass::ALL (pre-fix they hard-coded 7, and a miss
+        // in class_index silently credited the last class). The dedicated
+        // unattributed counters exist and stay zero for every real class.
+        let m = ServeMetrics::default();
+        for class in OpClass::ALL {
+            m.record_completion(class, 10, false, 0, 0);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.cycles_by_class.len(), OpClass::ALL.len());
+        assert_eq!(s.jobs_by_class.len(), OpClass::ALL.len());
+        for class in OpClass::ALL {
+            assert_eq!(s.cycles_for(class), 10, "{}", class.name());
+            assert_eq!(s.jobs_for(class), 1);
+        }
+        assert_eq!(s.cycles_unattributed, 0);
+        assert_eq!(s.jobs_unattributed, 0);
+        assert_eq!(s.completed, OpClass::ALL.len() as u64);
+    }
+
+    #[test]
+    fn spans_land_in_their_histograms() {
+        let m = ServeMetrics::default();
+        m.record_submit_span(1_500);
+        m.record_batch(3, 250);
+        m.record_dispatch_wait(4_000);
+        m.record_completion(OpClass::Mul, 64, false, 2_000, 9_000);
+        let s = m.snapshot();
+        assert_eq!(s.submit_ns.count, 1);
+        assert_eq!(s.submit_ns.sum, 1_500);
+        assert_eq!(s.batch_form_ns.sum, 250);
+        assert_eq!(s.dispatch_wait_ns.sum, 4_000);
+        assert_eq!(s.queue_wait_ns.sum, 2_000);
+        assert_eq!(s.service_ns.sum, 9_000);
+        assert_eq!(s.service_cycles.sum, 64);
+        assert_eq!(s.service_cycles.count, 1);
+    }
+
+    #[test]
+    fn exporters_carry_the_snapshot_totals() {
+        let m = ServeMetrics::default();
+        m.record_submit(2);
+        m.record_completion(OpClass::Mul, 123, false, 1_000, 2_000);
+        let s = m.snapshot();
+        let prom = s.to_prometheus();
+        assert!(prom.contains("apc_serve_jobs_submitted_total 1"), "{prom}");
+        assert!(
+            prom.contains("apc_serve_service_cycles_total{class=\"Multiply\"} 123"),
+            "{prom}"
+        );
+        assert!(prom.contains("apc_serve_service_cycles_count 1"), "{prom}");
+        let json = s.to_json();
+        assert!(json.contains("apc_serve_jobs_completed_total"), "{json}");
+        assert!(json.contains("\"sum\": 123"), "{json}");
     }
 }

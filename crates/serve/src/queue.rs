@@ -16,7 +16,7 @@
 //! All waiting is condvar-based; the scheduler never sleep-polls (lint
 //! rule L7 enforces this for the whole crate).
 
-use crate::error::SubmitError;
+use crate::error::{ConfigError, SubmitError};
 use crate::job::{Job, JobReport, JobSpec};
 use crate::scheduler::SchedPolicy;
 use std::collections::VecDeque;
@@ -48,6 +48,10 @@ pub(crate) struct Batch {
     pub bucket_bits: u64,
     /// The jobs, in dispatch order.
     pub jobs: Vec<Pending>,
+    /// When batch formation finished (dispatch-wait spans start here).
+    pub formed_at: Instant,
+    /// Nanoseconds spent forming the batch under the queue lock.
+    pub form_ns: u64,
 }
 
 struct State {
@@ -70,32 +74,65 @@ impl JobQueue {
     /// full `capacity` (total-queue bound) up front, mirroring
     /// `Lru::new`: the queued total can never exceed `capacity`, so no
     /// bucket can either, and steady state never reallocates.
-    pub fn new(capacity: usize, min_bucket_bits: u64, max_operand_bits: u64) -> JobQueue {
+    ///
+    /// Degenerate configurations are typed construction errors: a
+    /// zero-capacity queue would reject every submission, a zero minimum
+    /// bucket has no operands, and a minimum above the maximum spans no
+    /// range at all.
+    pub fn new(
+        capacity: usize,
+        min_bucket_bits: u64,
+        max_operand_bits: u64,
+    ) -> Result<JobQueue, ConfigError> {
+        if capacity == 0 {
+            return Err(ConfigError::ZeroCapacity);
+        }
+        if min_bucket_bits == 0 {
+            return Err(ConfigError::ZeroMinBucketBits);
+        }
+        if min_bucket_bits > max_operand_bits {
+            return Err(ConfigError::MinAboveMax { min_bucket_bits, max_operand_bits });
+        }
         let mut ceilings = Vec::new();
-        let mut c = min_bucket_bits.next_power_of_two().max(1);
+        // `next_power_of_two` overflows (and panics in debug) above 2^63;
+        // everything wider shares the one saturated top bucket.
+        let mut c = if min_bucket_bits > 1 << 63 {
+            u64::MAX
+        } else {
+            min_bucket_bits.next_power_of_two()
+        };
         loop {
             ceilings.push(c);
             if c >= max_operand_bits {
                 break;
             }
-            c = c.saturating_mul(2);
+            let next = c.saturating_mul(2);
+            if next == c {
+                break; // saturated at u64::MAX: the ladder cannot grow
+            }
+            c = next;
         }
+        // Saturation can only ever repeat the top rung; drop duplicates
+        // so every bucket ceiling is distinct.
+        ceilings.dedup();
         let buckets = ceilings
             .iter()
             .map(|_| VecDeque::with_capacity(capacity))
             .collect();
-        JobQueue {
+        Ok(JobQueue {
             capacity,
             bucket_ceilings: ceilings,
             state: Mutex::new(State { buckets, queued: 0, shutdown: false }),
             work_ready: Condvar::new(),
-        }
+        })
     }
 
-    /// The admission ceiling: the largest bucket.
+    /// The admission ceiling: the largest bucket. Fails *closed*: if the
+    /// ceiling ladder were ever empty, the ceiling is 0 and every job is
+    /// oversized — never `u64::MAX`, which would wave everything through
+    /// and defeat `OversizedOperand` admission control.
     pub fn max_operand_bits(&self) -> u64 {
-        // Construction guarantees at least one ceiling.
-        self.bucket_ceilings.last().copied().unwrap_or(u64::MAX)
+        self.bucket_ceilings.last().copied().unwrap_or(0)
     }
 
     /// The bucket ceiling `bits` falls into.
@@ -189,6 +226,7 @@ impl JobQueue {
         policy: SchedPolicy,
     ) -> Option<Batch> {
         let batch_max = batch_max.max(1);
+        let form_started = Instant::now();
         // Pick the bucket whose best pending job is globally most urgent.
         let mut best: Option<(usize, usize)> = None; // (bucket, index within)
         for (b, dq) in state.buckets.iter().enumerate() {
@@ -216,7 +254,15 @@ impl JobQueue {
                 break;
             }
         }
-        Some(Batch { bucket_bits: self.bucket_ceilings[bucket], jobs })
+        let formed_at = Instant::now();
+        Some(Batch {
+            bucket_bits: self.bucket_ceilings[bucket],
+            jobs,
+            formed_at,
+            form_ns: apc_trace::span::duration_ns(
+                formed_at.saturating_duration_since(form_started),
+            ),
+        })
     }
 
     /// Reserved capacity of each bucket deque (for the reservation
@@ -304,7 +350,7 @@ mod tests {
 
     #[test]
     fn bucket_ceilings_are_powers_of_two_and_cover_the_range() {
-        let q = JobQueue::new(8, 64, 1 << 20);
+        let q = JobQueue::new(8, 64, 1 << 20).expect("valid queue config");
         assert_eq!(q.bucket_for(1), 64);
         assert_eq!(q.bucket_for(64), 64);
         assert_eq!(q.bucket_for(65), 128);
@@ -313,8 +359,48 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_configs_are_typed_construction_errors() {
+        // Regression: pre-fix, all three constructions returned a live
+        // queue (capacity 0 rejected everything; min > max produced an
+        // inverted single-bucket ladder).
+        assert_eq!(JobQueue::new(0, 64, 4096).err(), Some(ConfigError::ZeroCapacity));
+        assert_eq!(JobQueue::new(4, 0, 4096).err(), Some(ConfigError::ZeroMinBucketBits));
+        assert_eq!(
+            JobQueue::new(4, 8192, 4096).err(),
+            Some(ConfigError::MinAboveMax { min_bucket_bits: 8192, max_operand_bits: 4096 })
+        );
+    }
+
+    #[test]
+    fn saturated_ceiling_ladder_terminates_and_dedups() {
+        // A ceiling range reaching u64::MAX must terminate (the pre-fix
+        // loop relied on c >= max alone) and must not carry duplicate
+        // saturated rungs.
+        let q = JobQueue::new(4, u64::MAX - 1, u64::MAX).expect("valid queue config");
+        assert_eq!(q.max_operand_bits(), u64::MAX);
+        assert_eq!(q.bucket_for(u64::MAX), u64::MAX);
+        let ladder = JobQueue::new(4, 64, u64::MAX).expect("valid queue config");
+        // Distinct powers of two 64..2^63 plus the saturated top: 59 rungs.
+        assert_eq!(ladder.max_operand_bits(), u64::MAX);
+        assert_eq!(ladder.bucket_for(1 << 62), 1 << 62);
+    }
+
+    #[test]
+    fn batches_carry_formation_spans() {
+        let q = JobQueue::new(4, 64, 4096).expect("valid queue config");
+        let (p, _rx) = pending(0, 100);
+        q.push(p).expect("capacity available");
+        let before = Instant::now();
+        let b = q.try_next_batch(4, SchedPolicy::Fifo).expect("work queued");
+        assert!(b.formed_at >= before);
+        // form_ns is a measured span, not a sentinel; it can be 0 on a
+        // coarse clock but never exceeds the enclosing interval.
+        assert!(b.form_ns <= apc_trace::span::duration_ns(before.elapsed()) + 1_000_000);
+    }
+
+    #[test]
     fn empty_tick_yields_no_batch() {
-        let q = JobQueue::new(4, 64, 4096);
+        let q = JobQueue::new(4, 64, 4096).expect("valid queue config");
         assert!(q.try_next_batch(8, SchedPolicy::Fifo).is_none());
         assert!(q.try_next_batch(8, SchedPolicy::DeadlineAware).is_none());
         assert_eq!(q.depth(), 0);
@@ -322,7 +408,7 @@ mod tests {
 
     #[test]
     fn capacity_bound_is_enforced_without_blocking() {
-        let q = JobQueue::new(3, 64, 4096);
+        let q = JobQueue::new(3, 64, 4096).expect("valid queue config");
         let mut rxs = Vec::new();
         for id in 0..3 {
             let (p, rx) = pending(id, 100);
@@ -336,7 +422,7 @@ mod tests {
 
     #[test]
     fn batches_never_mix_buckets() {
-        let q = JobQueue::new(8, 64, 4096);
+        let q = JobQueue::new(8, 64, 4096).expect("valid queue config");
         let mut rxs = Vec::new();
         for (id, bits) in [(0u64, 60u64), (1, 3000), (2, 50), (3, 40)] {
             let (p, rx) = pending(id, bits);
@@ -354,7 +440,7 @@ mod tests {
 
     #[test]
     fn deadline_aware_orders_by_deadline_then_priority() {
-        let q = JobQueue::new(8, 64, 4096);
+        let q = JobQueue::new(8, 64, 4096).expect("valid queue config");
         let now = Instant::now();
         let mut rxs = Vec::new();
         let mut push = |id: u64, deadline_ms: Option<u64>, priority: u8| {
@@ -380,7 +466,7 @@ mod tests {
         // scheduler's per-bucket queues: churn the queue at its configured
         // capacity and assert no deque ever regrows.
         let capacity = 64;
-        let q = JobQueue::new(capacity, 64, 1 << 16);
+        let q = JobQueue::new(capacity, 64, 1 << 16).expect("valid queue config");
         let reserved = q.bucket_queue_capacities();
         assert!(reserved.iter().all(|&c| c >= capacity), "{reserved:?}");
         let mut id = 0u64;
@@ -407,7 +493,7 @@ mod tests {
 
     #[test]
     fn shutdown_rejects_new_but_drains_old() {
-        let q = JobQueue::new(4, 64, 4096);
+        let q = JobQueue::new(4, 64, 4096).expect("valid queue config");
         let (p, _rx) = pending(0, 100);
         q.push(p).expect("capacity available");
         q.begin_shutdown();

@@ -35,7 +35,7 @@ pub(crate) fn scheduler_loop(
     metrics: Arc<ServeMetrics>,
 ) {
     while let Some(batch) = queue.next_batch(batch_max, policy) {
-        metrics.record_batch(batch.jobs.len());
+        metrics.record_batch(batch.jobs.len(), batch.form_ns);
         if dispatch.send(batch).is_err() {
             // Workers are gone (they only exit after this sender is
             // dropped, so this means a panic took the pool down); there

@@ -35,21 +35,32 @@ pub(crate) fn worker_loop(
             return; // channel closed: graceful pool unwind
         };
         let picked_up_at = Instant::now();
+        // Dispatch-wait span: batch formation to worker pickup (the
+        // rendezvous handoff cost the batching design amortizes per batch).
+        metrics.record_dispatch_wait(apc_trace::span::duration_ns(
+            picked_up_at.saturating_duration_since(batch.formed_at),
+        ));
         for pending in batch.jobs {
             let before = device.stats_snapshot();
+            let started_at = Instant::now();
             let output = pending.job.run(&device);
-            let delta = device.stats_snapshot().delta_since(&before);
             let finished_at = Instant::now();
+            let delta = device.stats_snapshot().delta_since(&before);
             let deadline = match pending.deadline_at {
                 None => DeadlineOutcome::None,
                 Some(at) if finished_at <= at => DeadlineOutcome::Met,
                 Some(_) => DeadlineOutcome::Missed,
             };
             let class = pending.job.op_class();
+            let queue_wait = picked_up_at.saturating_duration_since(pending.submitted_at);
             metrics.record_completion(
                 class,
                 delta.cycles,
                 deadline == DeadlineOutcome::Missed,
+                apc_trace::span::duration_ns(queue_wait),
+                apc_trace::span::duration_ns(
+                    finished_at.saturating_duration_since(started_at),
+                ),
             );
             let report = JobReport {
                 id: JobId(pending.id),
@@ -57,7 +68,7 @@ pub(crate) fn worker_loop(
                 op_class: class,
                 bucket_bits: batch.bucket_bits,
                 worker: index,
-                queue_wait: picked_up_at.saturating_duration_since(pending.submitted_at),
+                queue_wait,
                 service_cycles: delta.cycles,
                 service_seconds: delta.cycles as f64 * cycle_seconds,
                 deadline,

@@ -1,0 +1,128 @@
+//! Conservation property for [`apc_serve::ServeMetrics`] (the fixed
+//! misattribution bug's regression net): under a randomized concurrent
+//! mix of submissions, rejections, and completions, no job and no cycle
+//! may ever be lost or double-counted.
+//!
+//! Invariants checked at quiescence (after `shutdown`, when in-flight
+//! is zero):
+//!
+//! 1. `attempts == submitted + Σ rejected` — every submission attempt is
+//!    accounted exactly once;
+//! 2. `submitted == completed` — every accepted job got its terminal
+//!    report (the shutdown-drains guarantee, restated as a counter law);
+//! 3. `Σ cycles_by_class + cycles_unattributed == Σ report.service_cycles`
+//!    — per-class cycle attribution totals exactly what the per-job
+//!    reports claim, so the Fig. 2-style class breakdown can be trusted;
+//! 4. the span histograms record one entry per attempt/job respectively.
+
+use apc_bignum::Nat;
+use apc_serve::{Job, JobSpec, ServeConfig, ServeHandle, SubmitError};
+use rand::{Rng, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+fn random_job(rng: &mut rand::rngs::StdRng) -> Job {
+    // Widths spanning several buckets; a slice of jobs intentionally
+    // exceeds the admission ceiling below to exercise Oversized.
+    let bits = [96u64, 200, 600, 1_200, 2_500, 9_000][rng.gen_range(0..6usize)];
+    let limbs = (bits as usize).div_ceil(64).max(1);
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+    if let Some(top) = v.last_mut() {
+        *top |= 1 << 63;
+    }
+    let a = Nat::from_limbs(v);
+    match rng.gen_range(0..3u32) {
+        0 => Job::Mul { a: a.clone(), b: a },
+        1 => Job::Div { a, b: Nat::from(97u64) },
+        _ => Job::Sqrt { a },
+    }
+}
+
+#[test]
+fn metrics_conserve_jobs_and_cycles_under_concurrent_load() {
+    // Small queue and a tight admission ceiling so all three rejection
+    // paths (full, oversized) actually fire alongside completions.
+    let serve = ServeHandle::try_start(ServeConfig {
+        queue_capacity: 8,
+        workers: 2,
+        batch_max: 4,
+        min_bucket_bits: 64,
+        max_operand_bits: 1 << 12,
+        ..ServeConfig::default()
+    })
+    .expect("valid config");
+
+    const THREADS: u64 = 4;
+    const ATTEMPTS_PER_THREAD: u64 = 60;
+    let attempts = AtomicU64::new(0);
+    let rejected_seen = AtomicU64::new(0);
+    let report_cycles = Mutex::new(Vec::<u64>::new());
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let serve = serve.clone();
+            let attempts = &attempts;
+            let rejected_seen = &rejected_seen;
+            let report_cycles = &report_cycles;
+            s.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE + t);
+                for _ in 0..ATTEMPTS_PER_THREAD {
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    match serve.submit(random_job(&mut rng), JobSpec::default()) {
+                        Ok(ticket) => {
+                            let report = ticket.wait().expect("accepted jobs must report");
+                            report_cycles
+                                .lock()
+                                .expect("no panics hold this lock")
+                                .push(report.service_cycles);
+                        }
+                        Err(
+                            SubmitError::QueueFull { .. }
+                            | SubmitError::OversizedOperand { .. }
+                            | SubmitError::Shutdown
+                            | SubmitError::InvalidJob(_),
+                        ) => {
+                            rejected_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    serve.shutdown();
+
+    let m = serve.metrics();
+    let attempts = attempts.load(Ordering::Relaxed);
+    assert_eq!(attempts, THREADS * ATTEMPTS_PER_THREAD);
+
+    // (1) Every attempt is exactly one of accepted / rejected.
+    let rejected_total =
+        m.rejected_full + m.rejected_oversized + m.rejected_shutdown + m.rejected_invalid;
+    assert_eq!(attempts, m.submitted + rejected_total, "attempt conservation");
+    assert_eq!(rejected_total, rejected_seen.load(Ordering::Relaxed));
+    assert!(m.rejected_oversized > 0, "ceiling must have fired (seeded mix)");
+
+    // (2) At quiescence nothing is in flight: accepted == completed.
+    assert_eq!(m.submitted, m.completed, "job conservation across shutdown");
+    assert_eq!(serve.queue_depth(), 0);
+
+    // (3) Per-class cycle totals equal the sum of per-job attributed
+    // cycles from the reports — the misattribution regression proper.
+    let reports = report_cycles.lock().expect("scope joined; no contention");
+    assert_eq!(reports.len() as u64, m.completed);
+    let report_sum: u64 = reports.iter().sum();
+    let class_sum: u64 = m.cycles_by_class.iter().sum();
+    assert_eq!(class_sum + m.cycles_unattributed, report_sum, "cycle conservation");
+    assert_eq!(m.cycles_unattributed, 0, "every OpClass is in ALL");
+    let class_jobs: u64 = m.jobs_by_class.iter().sum();
+    assert_eq!(class_jobs + m.jobs_unattributed, m.completed);
+
+    // (4) Span histograms record per-attempt / per-job / per-batch.
+    assert_eq!(m.submit_ns.count, attempts);
+    assert_eq!(m.queue_wait_ns.count, m.completed);
+    assert_eq!(m.service_ns.count, m.completed);
+    assert_eq!(m.service_cycles.count, m.completed);
+    assert_eq!(m.service_cycles.sum, report_sum);
+    assert_eq!(m.batch_form_ns.count, m.batches);
+    assert_eq!(m.dispatch_wait_ns.count, m.batches);
+}

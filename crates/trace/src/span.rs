@@ -1,0 +1,90 @@
+//! `Instant`-domain spans: measure a region of host wall time and record
+//! its nanoseconds into a [`Log2Histogram`] when the region ends.
+//!
+//! This is the serving-layer half of the two-domain rule (see the crate
+//! header): the device model records cycles directly and never touches a
+//! clock, while queue wait, batch formation, dispatch, and kernel wall
+//! time are real host intervals measured here.
+
+use crate::histogram::Log2Histogram;
+use std::time::{Duration, Instant};
+
+/// Converts a duration to whole nanoseconds, saturating at `u64::MAX`
+/// (a ~584-year span; saturation keeps the conversion total).
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// An open span over a histogram: started on construction, recorded on
+/// [`Span::finish`] or drop (whichever comes first, exactly once).
+#[derive(Debug)]
+pub struct Span<'a> {
+    histogram: &'a Log2Histogram,
+    started: Instant,
+    recorded: bool,
+}
+
+impl<'a> Span<'a> {
+    /// Opens a span that will record its elapsed nanoseconds into
+    /// `histogram`.
+    pub fn enter(histogram: &'a Log2Histogram) -> Span<'a> {
+        Span {
+            histogram,
+            started: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Nanoseconds elapsed so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        duration_ns(self.started.elapsed())
+    }
+
+    /// Ends the span now and returns the recorded nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        self.histogram.record(ns);
+        self.recorded = true;
+        ns
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.histogram.record(self.elapsed_ns());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_once_on_finish() {
+        let _guard = crate::testutil::flag_guard();
+        let h = Log2Histogram::new();
+        let span = Span::enter(&h);
+        let ns = span.finish();
+        let s = h.snapshot();
+        assert_eq!(s.count, 1, "finish records exactly once (no double via drop)");
+        assert_eq!(s.sum, ns);
+    }
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let _guard = crate::testutil::flag_guard();
+        let h = Log2Histogram::new();
+        {
+            let _span = Span::enter(&h);
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn duration_conversion_saturates() {
+        assert_eq!(duration_ns(Duration::from_nanos(1234)), 1234);
+        assert_eq!(duration_ns(Duration::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,39 @@
+//! Poison-propagation traps: L8 must flag bare lock unwraps.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// The classic cascade: one tenant's panic poisons the queue mutex and
+/// this unwrap takes every later caller down with it.
+pub fn pop_bare(q: &Mutex<VecDeque<u64>>) -> Option<u64> {
+    q.lock().unwrap().pop_front() // apc-lint: allow(L2) -- fixture isolates L8
+}
+
+/// An expect message does not make the cascade any better.
+pub fn depth_bare(q: &Mutex<VecDeque<u64>>) -> usize {
+    q.lock().expect("queue lock").len() // apc-lint: allow(L2) -- fixture isolates L8
+}
+
+/// Justified escapes stay available (both rules waived with reasons).
+pub fn pop_waived(q: &Mutex<VecDeque<u64>>) -> Option<u64> {
+    // apc-lint: allow(L8,L2) -- init-only path, runs before any other thread exists
+    q.lock().unwrap().pop_front()
+}
+
+/// The idiom L8 steers to: single-step transitions keep the data
+/// consistent, so a poisoned guard is still safe to enter.
+pub fn pop_recovering(q: &Mutex<VecDeque<u64>>) -> Option<u64> {
+    q.lock().unwrap_or_else(PoisonError::into_inner).pop_front()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests may unwrap locks freely.
+    #[test]
+    fn tests_are_exempt() {
+        let q = Mutex::new(VecDeque::from([1u64]));
+        assert_eq!(q.lock().unwrap().pop_front(), Some(1));
+    }
+}

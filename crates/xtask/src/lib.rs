@@ -20,6 +20,7 @@
 //! | L5 | Cargo.toml hygiene: workspace-inherited metadata, `lints.workspace`, no path deps escaping the workspace |
 //! | L6 | no `RefCell`/`Cell` fields in `pub` structs on library paths (keeps exported handles `Sync`) |
 //! | L7 | no `thread::sleep` on `crates/serve` library paths (the service blocks on condvars/channels, never polls) |
+//! | L8 | no bare `.lock().unwrap()` / `.lock().expect(..)` on library paths (recover poisoned locks explicitly) |
 //!
 //! Every rule has an escape hatch:
 //!
@@ -61,6 +62,8 @@ pub enum RuleId {
     L6,
     /// No `thread::sleep` on `crates/serve` library paths.
     L7,
+    /// No bare `.lock().unwrap()` / `.lock().expect(..)` on library paths.
+    L8,
 }
 
 impl RuleId {
@@ -75,12 +78,13 @@ impl RuleId {
             "L5" => Some(RuleId::L5),
             "L6" => Some(RuleId::L6),
             "L7" => Some(RuleId::L7),
+            "L8" => Some(RuleId::L8),
             _ => None,
         }
     }
 
     /// All enforceable rules (excludes the `L0` meta-rule).
-    pub fn all() -> [RuleId; 7] {
+    pub fn all() -> [RuleId; 8] {
         [
             RuleId::L1,
             RuleId::L2,
@@ -89,6 +93,7 @@ impl RuleId {
             RuleId::L5,
             RuleId::L6,
             RuleId::L7,
+            RuleId::L8,
         ]
     }
 
@@ -110,6 +115,9 @@ impl RuleId {
             }
             RuleId::L7 => {
                 "no thread::sleep on crates/serve library paths (block on condvars/channels, never poll)"
+            }
+            RuleId::L8 => {
+                "no bare .lock().unwrap()/.lock().expect() on library paths (recover poison explicitly)"
             }
         }
     }
@@ -174,6 +182,7 @@ pub fn lint_tree(root: &Path) -> Result<Vec<Violation>, LintError> {
         violations.extend(rules::l4_paper_anchors(source));
         violations.extend(rules::l6_no_interior_mutability_in_pub_structs(source));
         violations.extend(rules::l7_no_sleep_in_serve(source));
+        violations.extend(rules::l8_no_bare_lock_unwrap(source));
     }
     for manifest in &manifests {
         violations.extend(manifest.directive_errors());

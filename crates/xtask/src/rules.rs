@@ -1,4 +1,4 @@
-//! The seven apc-lint rules.
+//! The eight apc-lint rules.
 //!
 //! Each rule takes scanned files (see [`crate::scan`]) and returns
 //! [`Violation`]s. Scoping is purely path-pattern based and relative to
@@ -20,6 +20,7 @@ const LIBRARY_CRATE_DIRS: &[&str] = &[
     "crates/core",
     "crates/serve",
     "crates/sim",
+    "crates/trace",
     "crates/xtask",
 ];
 
@@ -386,6 +387,56 @@ pub fn l7_no_sleep_in_serve(file: &SourceFile) -> Vec<Violation> {
         }
     }
     out
+}
+
+/// L8: no bare `.lock().unwrap()` / `.lock().expect(..)` on library
+/// paths. A panicking tenant must never take the whole service down with
+/// it: every tally/queue transition in this workspace is single-step, so
+/// a poisoned mutex still guards consistent data and the right recovery
+/// is `lock().unwrap_or_else(PoisonError::into_inner)` (see
+/// `Session::lock_tallies`). Bare unwrap/expect on a lock turns one
+/// tenant's panic into a cascade. L2 already flags the unwrap itself;
+/// L8 exists so the *lock-specific* recovery idiom cannot be waived with
+/// a generic L2 allow.
+pub fn l8_no_bare_lock_unwrap(file: &SourceFile) -> Vec<Violation> {
+    if !is_library_source(&file.rel_path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, code) in file.code_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if file.test_lines[idx] {
+            continue;
+        }
+        if lock_then_panicky(code) && !file.allowed(RuleId::L8, line_no) {
+            out.push(violation(
+                RuleId::L8,
+                &file.rel_path,
+                line_no,
+                "bare `.lock().unwrap()`/`.lock().expect(..)` propagates another \
+                 thread's panic — recover with \
+                 `.lock().unwrap_or_else(PoisonError::into_inner)` (single-step \
+                 transitions keep the data consistent), or add \
+                 `// apc-lint: allow(L8) -- <reason>`",
+            ));
+        }
+    }
+    out
+}
+
+/// Detects `.lock()` immediately followed (modulo whitespace) by
+/// `.unwrap()` or `.expect(`. `.unwrap_or_else(..)` does not match.
+fn lock_then_panicky(code: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = code[start..].find(".lock()") {
+        let at = start + pos + ".lock()".len();
+        let tail = code[at..].trim_start();
+        if tail.starts_with(".unwrap()") || tail.starts_with(".expect(") {
+            return true;
+        }
+        start = at;
+    }
+    false
 }
 
 /// Keys every member crate must inherit from `[workspace.package]`.

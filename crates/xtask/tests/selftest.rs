@@ -65,6 +65,11 @@ fn l7_catches_sleep_polling_in_the_serving_layer() {
 }
 
 #[test]
+fn l8_catches_bare_lock_unwraps() {
+    assert_only("bad/l8", RuleId::L8, 2);
+}
+
+#[test]
 fn l0_catches_malformed_directives() {
     assert_only("bad/l0", RuleId::L0, 3);
 }
@@ -88,7 +93,9 @@ fn cli_exits_zero_on_clean_and_one_per_bad_fixture() {
         .output()
         .expect("spawn xtask");
     assert!(ok.status.success(), "good fixture must exit 0");
-    for bad in ["bad/l1", "bad/l2", "bad/l3", "bad/l4", "bad/l5", "bad/l6", "bad/l7", "bad/l0"] {
+    for bad in [
+        "bad/l1", "bad/l2", "bad/l3", "bad/l4", "bad/l5", "bad/l6", "bad/l7", "bad/l8", "bad/l0",
+    ] {
         let out = Command::new(bin)
             .arg("lint")
             .arg(fixture(bad))
@@ -108,7 +115,7 @@ fn rules_subcommand_lists_every_rule() {
         .expect("spawn xtask");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for rule in ["L1", "L2", "L3", "L4", "L5", "L6", "L7"] {
+    for rule in ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"] {
         assert!(text.contains(rule), "missing {rule} in: {text}");
     }
 }
