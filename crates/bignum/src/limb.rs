@@ -77,6 +77,26 @@ pub fn div2by1(hi: Limb, lo: Limb, d: Limb) -> (Limb, Limb) {
     ((n / d128) as Limb, (n % d128) as Limb)
 }
 
+/// One step of a left-shift carry chain: shifts `l` left by `bits`
+/// (which must be in `1..=63`), ORs in the carry from the previous limb,
+/// and returns `(shifted, carry_out)` where `carry_out` holds the bits
+/// shifted out the top — ready to be ORed into the next limb.
+///
+/// Kernel paths use this instead of a bare `l << bits` (apc-lint L11):
+/// the bits a bare shift silently discards are exactly the carry this
+/// helper hands back.
+///
+/// ```
+/// use apc_bignum::limb::shl_step;
+/// assert_eq!(shl_step(u64::MAX, 1, 1), (u64::MAX, 1));
+/// assert_eq!(shl_step(1, 63, 0), (1 << 63, 0));
+/// ```
+#[inline]
+pub fn shl_step(l: Limb, bits: u32, carry: Limb) -> (Limb, Limb) {
+    debug_assert!(bits > 0 && bits < LIMB_BITS, "shift step needs 1..=63 bits");
+    ((l << bits) | carry, l >> (LIMB_BITS - bits))
+}
+
 /// Number of significant bits of `x` (0 for `x == 0`).
 #[inline]
 pub fn bit_len(x: Limb) -> u32 {

@@ -3,7 +3,7 @@
 //! limbs.
 
 use super::Nat;
-use crate::limb::{bit_split, Limb, LIMB_BITS};
+use crate::limb::{bit_split, shl_step, Limb, LIMB_BITS};
 use std::ops::{Shl, Shr};
 
 /// Shifts a limb slice left by `bits < 64`, returning the shifted limbs plus
@@ -16,8 +16,9 @@ pub(crate) fn shl_small(a: &[Limb], bits: u32) -> (Vec<Limb>, Limb) {
     let mut out = Vec::with_capacity(a.len());
     let mut carry = 0;
     for &l in a {
-        out.push((l << bits) | carry);
-        carry = l >> (LIMB_BITS - bits);
+        let (shifted, next) = shl_step(l, bits, carry);
+        out.push(shifted);
+        carry = next;
     }
     (out, carry)
 }

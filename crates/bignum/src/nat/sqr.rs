@@ -7,7 +7,7 @@
 
 use super::mul::{MulAlgorithm, Thresholds};
 use super::Nat;
-use crate::limb::{adc, mul_add_carry, Limb};
+use crate::limb::{adc, mul_add_carry, shl_step, Limb};
 
 /// Limb count below which squaring uses the dedicated basecase.
 const SQR_BASECASE_LIMIT: usize = 32;
@@ -78,9 +78,9 @@ fn sqr_basecase(a: &[Limb]) -> Nat {
     // Double the cross products.
     let mut carry: Limb = 0;
     for limb in out.iter_mut() {
-        let new_carry = *limb >> 63;
-        *limb = (*limb << 1) | carry;
-        carry = new_carry;
+        let (doubled, next) = shl_step(*limb, 1, carry);
+        *limb = doubled;
+        carry = next;
     }
     debug_assert_eq!(carry, 0, "top bit is free: cross products < 2^(128n-1)");
     // Add the diagonal squares.

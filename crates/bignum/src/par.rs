@@ -38,14 +38,17 @@ thread_local! {
 /// Turns the library-internal parallel dispatch on or off at runtime
 /// (process-wide). A no-op without the `parallel` feature.
 pub fn set_parallel_enabled(enabled: bool) {
-    ENABLED.store(enabled, Ordering::Relaxed);
+    // Release pairs with the Acquire load in `parallel_enabled`: a thread
+    // that observes the switch also observes everything the switching
+    // thread published before flipping it.
+    ENABLED.store(enabled, Ordering::Release);
 }
 
 /// Whether library-internal call sites will currently dispatch in
 /// parallel: the `parallel` feature is compiled in and the runtime switch
 /// is on.
 pub fn parallel_enabled() -> bool {
-    cfg!(feature = "parallel") && ENABLED.load(Ordering::Relaxed)
+    cfg!(feature = "parallel") && ENABLED.load(Ordering::Acquire)
 }
 
 /// Number of worker threads a parallel dispatch may use (1 without the

@@ -61,7 +61,11 @@ pub fn set_enabled(on: bool) {
 
 /// Whether span/histogram recording is currently enabled.
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    // Acquire pairs with the SeqCst (≥ Release) store in `set_enabled`:
+    // a recorder that sees the gate open also sees any state the enabling
+    // thread set up beforehand. Relaxed here would let it act on the flag
+    // while missing those writes (apc-lint L12).
+    ENABLED.load(Ordering::Acquire)
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 /// Clean on its own; only the directives below are broken.
 pub fn ok() -> u64 {
     // apc-lint: allow(L2)
-    // apc-lint: allow(L9) -- no such rule
+    // apc-lint: allow(L99) -- no such rule
     // apc-lint: deny(L2) -- not a verb the engine supports
+    // apc-lint: allow(L12)
     1
 }

@@ -1,0 +1,33 @@
+//! Cross-domain flows: L10 must flag each crossing of the cycle and
+//! Instant-ns time domains.
+
+use apc_trace::{Log2Histogram, Span};
+
+/// Metrics block with one histogram per domain.
+pub struct Mixed {
+    service_cycles: Log2Histogram,
+    latency_ns: Log2Histogram,
+}
+
+impl Mixed {
+    /// Records a wall-clock value into the cycle histogram. (1)
+    pub fn cross_record_a(&self, elapsed_ns: u64) {
+        self.service_cycles.record(elapsed_ns);
+    }
+
+    /// Records a device-clock value into the ns histogram. (2)
+    pub fn cross_record_b(&self, cycles: u64) {
+        self.latency_ns.record(cycles);
+    }
+
+    /// Opens a wall-clock span over a cycle histogram. (3)
+    pub fn span_over_cycles(&self) -> Span<'_> {
+        Span::enter(&self.service_cycles)
+    }
+
+    /// Binds an ns-named value from the cycle domain. (4)
+    pub fn mixed_binding(&self, cycles: u64) -> u64 {
+        let total_ns = cycles + 1;
+        total_ns
+    }
+}

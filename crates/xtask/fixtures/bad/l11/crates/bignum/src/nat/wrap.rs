@@ -1,0 +1,24 @@
+//! Bare limb arithmetic: L11 must flag each wrapping-capable operator
+//! on a limb-typed left operand — and nothing else.
+
+use crate::limb::{adc, Limb};
+
+/// Four bare ops on limb-typed values: `+`, `*`, `<<`, `-`.
+pub fn bad_ops(acc: Limb, step: Limb) -> (Limb, Limb) {
+    let doubled: Limb = acc + acc;
+    let scaled: Limb = step * 3;
+    let shifted: Limb = acc << 3;
+    let diff: Limb = doubled - scaled;
+    let _ = shifted;
+    (shifted, diff)
+}
+
+/// Helper-routed and explicit forms stay clean, and usize index
+/// arithmetic must not be mistaken for limb arithmetic.
+pub fn good_ops(a: Limb, b: Limb, xs: &[Limb]) -> Limb {
+    let (s, c) = adc(a, b, 0);
+    let wrapped = a.wrapping_add(b);
+    let idx = xs.len() + 1;
+    let _ = (c, idx);
+    s.checked_mul(2).unwrap_or(wrapped)
+}

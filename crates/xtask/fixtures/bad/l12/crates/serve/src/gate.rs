@@ -1,0 +1,27 @@
+//! Relaxed flag atomics: L12 must flag gate/flag accesses while leaving
+//! statistic counters alone.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shutdown gate plus a plain statistic counter.
+pub struct Gate {
+    shutdown: AtomicBool,
+    jobs: AtomicU64,
+}
+
+impl Gate {
+    /// Relaxed store on a flag publishes nothing. (1)
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Relaxed load on a flag observes nothing. (2)
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed on a statistic counter is exactly right — not flagged.
+    pub fn count_job(&self) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+    }
+}

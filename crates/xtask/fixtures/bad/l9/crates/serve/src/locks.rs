@@ -1,0 +1,33 @@
+//! Opposite-order lock acquisitions: L9 must flag both sides of the
+//! cycle (one finding per edge site).
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Paired state with two independently-locked halves.
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// Guard helper for the alpha half (calls to it count as acquiring
+    /// `alpha`).
+    fn lock_alpha(&self) -> MutexGuard<'_, u64> {
+        self.alpha.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Takes alpha, then beta.
+    pub fn forward(&self) -> u64 {
+        let a = self.lock_alpha();
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        *a + *b
+    }
+
+    /// Takes beta, then alpha — the reverse order. Two threads running
+    /// `forward` and `backward` concurrently can deadlock.
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        let a = self.lock_alpha();
+        *b - *a
+    }
+}

@@ -10,3 +10,17 @@ pub fn masked(x: u64) -> u32 {
     // apc-lint: allow(L3) -- fixture: value masked to 32 bits on this line
     (x & 0xFFFF_FFFF) as u32
 }
+
+/// The machine word, mirroring the real `limb::Limb`.
+pub type Limb = u64;
+
+/// Explicit wrapping arithmetic — L11's good side.
+pub fn accumulate(acc: Limb, step: Limb) -> Limb {
+    acc.wrapping_add(step)
+}
+
+/// A justified bare op, silenced by the escape hatch.
+pub fn double_unchecked(acc: Limb) -> Limb {
+    // apc-lint: allow(L11) -- fixture: caller proves acc stays below 2^63
+    acc + acc
+}

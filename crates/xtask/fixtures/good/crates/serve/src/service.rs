@@ -1,0 +1,68 @@
+//! Fixture service file: the clean side of the flow rules — consistent
+//! lock order (L9), single-domain metric flows (L10), and disciplined
+//! atomic orderings (L12).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Minimal histogram stand-in so record sites look like the real ones.
+pub struct Hist {
+    total: AtomicU64,
+}
+
+impl Hist {
+    /// Folds one sample into the running total.
+    pub fn record(&self, value: u64) {
+        self.total.fetch_add(value, Ordering::Relaxed);
+    }
+}
+
+/// Service state: two locks, a gate flag, a statistic flag, and one
+/// histogram per time domain.
+pub struct Service {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+    running: AtomicBool,
+    seen_work: AtomicBool,
+    queue_ns: Hist,
+    service_cycles: Hist,
+}
+
+impl Service {
+    /// Takes alpha, then beta — the canonical order.
+    pub fn sweep(&self) -> u64 {
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        *a ^ *b
+    }
+
+    /// Also alpha, then beta: a second site in the same order is fine.
+    pub fn drain(&self) -> u64 {
+        let a = self.alpha.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.beta.lock().unwrap_or_else(PoisonError::into_inner);
+        *a | *b
+    }
+
+    /// Release store on a gate flag publishes prior writes.
+    pub fn start(&self) {
+        self.running.store(true, Ordering::Release);
+    }
+
+    /// Acquire load pairs with the Release store above.
+    pub fn is_running(&self) -> bool {
+        self.running.load(Ordering::Acquire)
+    }
+
+    /// A boolean *statistic* may stay Relaxed with a stated reason.
+    pub fn note_work_seen(&self) {
+        // apc-lint: allow(L12) -- boolean statistic only read by debug dumps
+        self.seen_work.store(true, Ordering::Relaxed);
+    }
+
+    /// Touching both domains in one function is fine as long as each
+    /// value flows into its own domain.
+    pub fn record_completion(&self, service_cycles: u64, queue_ns: u64) {
+        self.service_cycles.record(service_cycles);
+        self.queue_ns.record(queue_ns);
+    }
+}

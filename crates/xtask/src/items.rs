@@ -1,0 +1,397 @@
+//! The brace-matched item map: functions, crate attribution, `use`
+//! resolution, and workspace-wide inventories (flag atomics, guard
+//! helpers) that the flow analyses in [`crate::flow`] consume.
+//!
+//! Everything here is token-based (see [`crate::lexer`]) — no regexes,
+//! no per-line heuristics — so spans survive multi-line signatures and
+//! expressions.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scan::{ManifestFile, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `fn` item: where it lives and which tokens form it.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Index of the owning file in the scanned source list.
+    pub file: usize,
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token index of the body's `{` (== `body_end` for body-less decls).
+    pub body_start: usize,
+    /// Token index one past the body's matching `}`.
+    pub body_end: usize,
+    /// Whether the function is test code (`#[cfg(test)]` region or a
+    /// `#[test]` attribute directly above).
+    pub is_test: bool,
+}
+
+/// The cross-file model the flow rules run on.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Every function item, across all files.
+    pub fns: Vec<FnItem>,
+    /// Crate directory (`crates/serve`, …) per file; empty for files
+    /// outside any crate (workspace-root `src/` maps to `"src"`).
+    pub crate_of_file: Vec<String>,
+    /// Function lookup: (crate dir, fn name) → indices into `fns`.
+    pub fn_by_name: BTreeMap<(String, String), Vec<usize>>,
+    /// Per file: crate dirs imported via `use <crate_ident>::…`.
+    pub imports: Vec<BTreeSet<String>>,
+    /// Crate ident (`apc_trace`) → crate dir (`crates/trace`).
+    pub crate_ident_to_dir: BTreeMap<String, String>,
+    /// Names of fields/statics declared `AtomicBool` anywhere in the
+    /// workspace. These are the gate/flag atomics L12 audits.
+    pub atomic_bools: BTreeSet<String>,
+    /// Guard-returning helpers: (crate dir, helper name) → the lock
+    /// field the helper acquires (`lock()` → `state`).
+    pub guard_helpers: BTreeMap<(String, String), String>,
+}
+
+/// Builds the workspace model from scanned sources and manifests.
+pub fn build(sources: &[SourceFile], manifests: &[ManifestFile]) -> Workspace {
+    let crate_ident_to_dir = crate_ident_map(manifests);
+    let crate_of_file: Vec<String> = sources.iter().map(|s| crate_dir(&s.rel_path)).collect();
+
+    let mut fns = Vec::new();
+    let mut fn_by_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    let mut imports: Vec<BTreeSet<String>> = Vec::new();
+    let mut atomic_bools = BTreeSet::new();
+
+    for (file_idx, src) in sources.iter().enumerate() {
+        collect_fns(file_idx, src, &mut fns);
+        imports.push(collect_imports(&src.tokens, &crate_ident_to_dir));
+        collect_atomic_bools(&src.tokens, &mut atomic_bools);
+    }
+    for (idx, f) in fns.iter().enumerate() {
+        let key = (crate_of_file[f.file].clone(), f.name.clone());
+        fn_by_name.entry(key).or_default().push(idx);
+    }
+
+    let guard_helpers = collect_guard_helpers(sources, &fns, &crate_of_file);
+
+    Workspace {
+        fns,
+        crate_of_file,
+        fn_by_name,
+        imports,
+        crate_ident_to_dir,
+        atomic_bools,
+        guard_helpers,
+    }
+}
+
+/// `crates/serve/src/queue.rs` → `crates/serve`; `src/lib.rs` → `src`.
+fn crate_dir(rel_path: &str) -> String {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    if parts.first() == Some(&"crates") && parts.len() > 2 {
+        return format!("crates/{}", parts[1]);
+    }
+    if parts.first() == Some(&"src") {
+        return "src".to_string();
+    }
+    String::new()
+}
+
+/// Reads `name = "apc-serve"` out of each member manifest and maps the
+/// Rust ident form (`apc_serve`) to the crate dir.
+fn crate_ident_map(manifests: &[ManifestFile]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for m in manifests {
+        let dir = crate_dir(&m.rel_path);
+        if dir.is_empty() {
+            continue;
+        }
+        for line in &m.code_lines {
+            let t = line.trim();
+            let Some(rest) = t.strip_prefix("name") else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let Some(rest) = rest.strip_prefix('=') else {
+                continue;
+            };
+            let name = rest.trim().trim_matches('"');
+            if !name.is_empty() {
+                map.insert(name.replace('-', "_"), dir.clone());
+                break;
+            }
+        }
+    }
+    map
+}
+
+/// Finds every `fn` item by token walking: `fn <name> … { … }`.
+fn collect_fns(file_idx: usize, src: &SourceFile, out: &mut Vec<FnItem>) {
+    let toks = &src.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_fn_kw = toks[i].is_ident("fn")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident);
+        if !is_fn_kw {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        let line = toks[i].line;
+        // Scan to the body `{` or a `;` (trait/extern declaration),
+        // ignoring `;` inside brackets (e.g. `-> [Limb; 4]`).
+        let mut j = i + 2;
+        let mut bracket: i32 = 0;
+        let mut body_start = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => bracket += 1,
+                ")" | "]" => bracket -= 1,
+                "{" if bracket == 0 => {
+                    body_start = Some(j);
+                    break;
+                }
+                ";" if bracket == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body_start else {
+            out.push(FnItem {
+                file: file_idx,
+                name,
+                line,
+                sig_start: i,
+                body_start: j,
+                body_end: j,
+                is_test: src.is_test_line(line),
+            });
+            i = j + 1;
+            continue;
+        };
+        // Match the body braces.
+        let mut depth = 0i32;
+        let mut k = open;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let is_test = src.is_test_line(line) || has_test_attr(toks, i);
+        out.push(FnItem {
+            file: file_idx,
+            name,
+            line,
+            sig_start: i,
+            body_start: open,
+            body_end: (k + 1).min(toks.len()),
+            is_test,
+        });
+        // Continue *inside* the body so nested fns are collected too.
+        i = open + 1;
+    }
+}
+
+/// Whether tokens directly before index `fn_idx` form a `#[test]`-like
+/// attribute (`#[test]`, `#[should_panic]`, `#[bench]`).
+fn has_test_attr(toks: &[Token], fn_idx: usize) -> bool {
+    let mut i = fn_idx;
+    // Walk back over attributes and visibility modifiers.
+    while i >= 4 {
+        if toks[i - 1].is_punct("]") {
+            // Find the `#` that opened this attribute.
+            let mut j = i - 1;
+            let mut depth = 0i32;
+            while j > 0 {
+                match toks[j].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j -= 1;
+            }
+            let attr_is_test = toks
+                .get(j + 1)
+                .is_some_and(|t| t.is_ident("test") || t.is_ident("should_panic") || t.is_ident("bench"));
+            if attr_is_test {
+                return true;
+            }
+            if j >= 1 && toks[j - 1].is_punct("#") {
+                i = j - 1;
+                continue;
+            }
+            return false;
+        }
+        if toks[i - 1].is_ident("pub") {
+            i -= 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// `use apc_trace::span;` → records `crates/trace` as imported.
+fn collect_imports(
+    toks: &[Token],
+    crate_ident_to_dir: &BTreeMap<String, String>,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("use") {
+            continue;
+        }
+        if let Some(first) = toks.get(i + 1) {
+            if first.kind == TokenKind::Ident {
+                if let Some(dir) = crate_ident_to_dir.get(&first.text) {
+                    out.insert(dir.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Records the declared name of every `AtomicBool` field or static:
+/// `static ENABLED: AtomicBool`, `shutdown: Arc<AtomicBool>`, ….
+fn collect_atomic_bools(toks: &[Token], out: &mut BTreeSet<String>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("AtomicBool") {
+            continue;
+        }
+        // Walk back a few tokens to the `:` of the declaration and take
+        // the ident before it. Skips wrapper generics (`Arc<`, `<`).
+        let mut j = i;
+        let mut steps = 0;
+        while j > 0 && steps < 6 {
+            j -= 1;
+            steps += 1;
+            if toks[j].is_punct(":") {
+                if j > 0 && toks[j - 1].kind == TokenKind::Ident {
+                    out.insert(toks[j - 1].text.clone());
+                }
+                break;
+            }
+            // `AtomicBool::new(..)` on an initializer — not a declaration.
+            if toks[j].is_punct("=") || toks[j].is_punct("::") {
+                break;
+            }
+        }
+    }
+}
+
+/// Finds helpers that *return* a `MutexGuard` (their signature names the
+/// type) and acquire a lock in their body; calls to them count as
+/// acquisitions of the underlying lock.
+fn collect_guard_helpers(
+    sources: &[SourceFile],
+    fns: &[FnItem],
+    crate_of_file: &[String],
+) -> BTreeMap<(String, String), String> {
+    let mut out = BTreeMap::new();
+    for f in fns {
+        let toks = &sources[f.file].tokens;
+        let sig = &toks[f.sig_start..f.body_start];
+        let returns_guard = sig.iter().any(|t| t.is_ident("MutexGuard"));
+        if !returns_guard || f.body_start >= f.body_end {
+            continue;
+        }
+        let body = &toks[f.body_start..f.body_end];
+        // First `<recv>.lock()` in the body names the underlying lock.
+        for w in 0..body.len().saturating_sub(3) {
+            let is_lock_call = body[w + 1].is_punct(".")
+                && body[w + 2].is_ident("lock")
+                && body.get(w + 3).is_some_and(|t| t.is_punct("("));
+            if is_lock_call && body[w].kind == TokenKind::Ident && body[w].text != "self" {
+                out.insert(
+                    (crate_of_file[f.file].clone(), f.name.clone()),
+                    body[w].text.clone(),
+                );
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_rust;
+
+    fn model(src: &str) -> (Vec<SourceFile>, Workspace) {
+        let files = vec![scan_rust("crates/serve/src/queue.rs", src)];
+        let ws = build(&files, &[]);
+        (files, ws)
+    }
+
+    #[test]
+    fn fn_items_are_brace_matched() {
+        let (_, ws) = model("fn a() { if x { y(); } }\nfn b() {}\n");
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(ws.fns[0].line, 1);
+        assert_eq!(ws.fns[1].line, 2);
+    }
+
+    #[test]
+    fn nested_fns_are_separate_items() {
+        let (_, ws) = model("fn outer() { fn inner() {} inner(); }\n");
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn test_attr_fns_are_marked() {
+        let (_, ws) = model("#[test]\nfn t() {}\nfn lib() {}\n");
+        assert!(ws.fns[0].is_test);
+        assert!(!ws.fns[1].is_test);
+    }
+
+    #[test]
+    fn atomic_bool_names_are_inventoried() {
+        let (_, ws) = model(
+            "static ENABLED: AtomicBool = AtomicBool::new(true);\n\
+             struct S { shutdown: Arc<AtomicBool>, n: AtomicU64 }\n",
+        );
+        assert!(ws.atomic_bools.contains("ENABLED"));
+        assert!(ws.atomic_bools.contains("shutdown"));
+        assert!(!ws.atomic_bools.contains("n"));
+    }
+
+    #[test]
+    fn guard_helpers_resolve_to_their_lock() {
+        let (_, ws) = model(
+            "impl Q { fn lock(&self) -> MutexGuard<'_, State> {\n\
+             self.state.lock().unwrap_or_else(PoisonError::into_inner) } }\n",
+        );
+        assert_eq!(
+            ws.guard_helpers
+                .get(&("crates/serve".to_string(), "lock".to_string()))
+                .map(String::as_str),
+            Some("state")
+        );
+    }
+
+    #[test]
+    fn crate_dirs_attribute_files() {
+        assert_eq!(crate_dir("crates/serve/src/queue.rs"), "crates/serve");
+        assert_eq!(crate_dir("src/lib.rs"), "src");
+        assert_eq!(crate_dir("tests/lint_gate.rs"), "");
+    }
+}

@@ -21,6 +21,14 @@
 //! | L6 | no `RefCell`/`Cell` fields in `pub` structs on library paths (keeps exported handles `Sync`) |
 //! | L7 | no `thread::sleep` on `crates/serve` library paths (the service blocks on condvars/channels, never polls) |
 //! | L8 | no bare `.lock().unwrap()` / `.lock().expect(..)` on library paths (recover poisoned locks explicitly) |
+//! | L9 | no cycles in the "mutex A held while acquiring B" graph (cross-file, call-resolved) |
+//! | L10 | no expression mixes apc-trace's cycle domain and Instant-ns domain |
+//! | L11 | no bare `+`/`-`/`*`/`<<` on limb-typed values in the arithmetic kernels |
+//! | L12 | `Ordering::Relaxed` only on statistic counters, never on gate/flag `AtomicBool`s |
+//!
+//! L1–L8 are per-line checks over masked source; L9–L12 are *flow*
+//! rules, computed on the token-tree engine ([`lexer`] → [`items`] →
+//! [`summary`] → [`flow`]).
 //!
 //! Every rule has an escape hatch:
 //!
@@ -37,8 +45,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flow;
+pub mod items;
+pub mod lexer;
 pub mod rules;
 pub mod scan;
+pub mod summary;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -64,6 +76,14 @@ pub enum RuleId {
     L7,
     /// No bare `.lock().unwrap()` / `.lock().expect(..)` on library paths.
     L8,
+    /// No cycles in the cross-file lock-order graph.
+    L9,
+    /// No expression mixes the cycle and Instant-ns time domains.
+    L10,
+    /// No bare `+`/`-`/`*`/`<<` on limb-typed values in kernel paths.
+    L11,
+    /// `Ordering::Relaxed` only on statistic counters, never on flags.
+    L12,
 }
 
 impl RuleId {
@@ -79,12 +99,16 @@ impl RuleId {
             "L6" => Some(RuleId::L6),
             "L7" => Some(RuleId::L7),
             "L8" => Some(RuleId::L8),
+            "L9" => Some(RuleId::L9),
+            "L10" => Some(RuleId::L10),
+            "L11" => Some(RuleId::L11),
+            "L12" => Some(RuleId::L12),
             _ => None,
         }
     }
 
     /// All enforceable rules (excludes the `L0` meta-rule).
-    pub fn all() -> [RuleId; 8] {
+    pub fn all() -> [RuleId; 12] {
         [
             RuleId::L1,
             RuleId::L2,
@@ -94,6 +118,10 @@ impl RuleId {
             RuleId::L6,
             RuleId::L7,
             RuleId::L8,
+            RuleId::L9,
+            RuleId::L10,
+            RuleId::L11,
+            RuleId::L12,
         ]
     }
 
@@ -118,6 +146,18 @@ impl RuleId {
             }
             RuleId::L8 => {
                 "no bare .lock().unwrap()/.lock().expect() on library paths (recover poison explicitly)"
+            }
+            RuleId::L9 => {
+                "no cycles in the cross-file lock-order graph (A held while acquiring B)"
+            }
+            RuleId::L10 => {
+                "no expression mixes the cycle domain and the Instant-ns domain (apc-trace contract)"
+            }
+            RuleId::L11 => {
+                "no bare +/-/*/<< on limb-typed values in kernel paths (route through limb.rs or wrapping_/checked_)"
+            }
+            RuleId::L12 => {
+                "Ordering::Relaxed only on statistic counters; gate/flag AtomicBools need Acquire/Release"
             }
         }
     }
@@ -188,6 +228,13 @@ pub fn lint_tree(root: &Path) -> Result<Vec<Violation>, LintError> {
         violations.extend(manifest.directive_errors());
         violations.extend(rules::l5_manifest_hygiene(manifest, root));
     }
+    // Flow rules run on the cross-file model.
+    let ws = items::build(&sources, &manifests);
+    let sums = summary::summarize(&sources, &ws);
+    violations.extend(flow::l9_lock_order(&sources, &ws, &sums));
+    violations.extend(flow::l10_time_domains(&sources, &ws));
+    violations.extend(flow::l11_limb_arithmetic(&sources, &ws));
+    violations.extend(flow::l12_atomic_orderings(&sources, &ws));
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(violations)
 }

@@ -2,8 +2,12 @@
 //!
 //! Commands:
 //!
-//! - `lint [path]` — run apc-lint over the workspace (or an explicit
-//!   root); exits nonzero when violations are found.
+//! - `lint [--json] [path]` — run apc-lint over the workspace (or an
+//!   explicit root); exits nonzero when violations are found. With
+//!   `--json`, emits one stable machine-readable object (schema:
+//!   `root`, `count`, `findings[{rule, path, line, message, allowed}]`).
+//! - `ci` — run the full tier-1 gate (release build, tests, lint) and
+//!   print a one-line PASS/FAIL summary.
 //! - `rules` — list the lint rules.
 
 #![forbid(unsafe_code)]
@@ -14,7 +18,22 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(args.get(1).map(PathBuf::from)),
+        Some("lint") => {
+            let mut json = false;
+            let mut root = None;
+            for arg in &args[1..] {
+                if arg == "--json" {
+                    json = true;
+                } else if arg.starts_with('-') {
+                    eprintln!("unknown lint flag `{arg}`");
+                    return ExitCode::from(2);
+                } else {
+                    root = Some(PathBuf::from(arg));
+                }
+            }
+            lint(root, json)
+        }
+        Some("ci") => ci(),
         Some("rules") => {
             for rule in xtask::RuleId::all() {
                 println!("{rule}: {}", rule.summary());
@@ -22,15 +41,23 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint [path] | rules>");
+            eprintln!("usage: cargo run -p xtask -- <lint [--json] [path] | ci | rules>");
             ExitCode::from(2)
         }
     }
 }
 
-fn lint(root: Option<PathBuf>) -> ExitCode {
+fn lint(root: Option<PathBuf>, json: bool) -> ExitCode {
     let root = root.unwrap_or_else(xtask::default_workspace_root);
     match xtask::lint_tree(&root) {
+        Ok(violations) if json => {
+            println!("{}", render_json(&root, &violations));
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         Ok(violations) if violations.is_empty() => {
             println!("apc-lint: clean ({})", root.display());
             ExitCode::SUCCESS
@@ -45,6 +72,97 @@ fn lint(root: Option<PathBuf>) -> ExitCode {
         Err(e) => {
             eprintln!("{e}");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Renders findings as a single JSON object. The schema is stable:
+/// `{"root":…,"count":N,"findings":[{"rule","path","line","message",
+/// "allowed"}]}`. `allowed` is always `false` today — justified
+/// `allow()` directives suppress findings before they are reported —
+/// but the field keeps the schema forward-compatible with an audit
+/// mode that surfaces suppressed findings too.
+fn render_json(root: &std::path::Path, violations: &[xtask::Violation]) -> String {
+    let mut out = String::from("{\"root\":\"");
+    out.push_str(&json_escape(&root.display().to_string()));
+    out.push_str("\",\"count\":");
+    out.push_str(&violations.len().to_string());
+    out.push_str(",\"findings\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":\"");
+        out.push_str(&v.rule.to_string());
+        out.push_str("\",\"path\":\"");
+        out.push_str(&json_escape(&v.file.display().to_string()));
+        out.push_str("\",\"line\":");
+        out.push_str(&v.line.to_string());
+        out.push_str(",\"message\":\"");
+        out.push_str(&json_escape(&v.message));
+        out.push_str("\",\"allowed\":false}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs the tier-1 sequence — release build, tests, then in-process
+/// lint — and prints a one-line summary. Stops at the first failing
+/// step so the summary names the culprit.
+fn ci() -> ExitCode {
+    let steps: [(&str, &[&str]); 2] =
+        [("build", &["build", "--release"]), ("test", &["test", "-q"])];
+    for (name, cargo_args) in steps {
+        println!("ci: cargo {}", cargo_args.join(" "));
+        match std::process::Command::new("cargo").args(cargo_args).status() {
+            Ok(status) if status.success() => {}
+            Ok(_) => {
+                println!("ci: FAIL ({name})");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("ci: could not spawn cargo: {e}");
+                println!("ci: FAIL ({name})");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("ci: apc-lint");
+    let root = xtask::default_workspace_root();
+    match xtask::lint_tree(&root) {
+        Ok(v) if v.is_empty() => {
+            println!("ci: PASS (build, test, lint)");
+            ExitCode::SUCCESS
+        }
+        Ok(v) => {
+            for finding in &v {
+                println!("{finding}");
+            }
+            println!("ci: FAIL (lint, {} violation(s))", v.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            println!("ci: FAIL (lint)");
+            ExitCode::FAILURE
         }
     }
 }

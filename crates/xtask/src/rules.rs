@@ -24,7 +24,7 @@ const LIBRARY_CRATE_DIRS: &[&str] = &[
     "crates/xtask",
 ];
 
-fn is_library_source(rel: &str) -> bool {
+pub(crate) fn is_library_source(rel: &str) -> bool {
     let in_lib_crate = LIBRARY_CRATE_DIRS
         .iter()
         .any(|c| rel.starts_with(&format!("{c}/src/")));

@@ -1,12 +1,15 @@
-//! Source discovery and the masking scanner.
+//! Source discovery and the scanning layer over the full-text lexer.
 //!
 //! The rules never look at raw text directly for *code* checks: each
-//! `.rs` file is run through a small lexer that blanks out comments and
-//! string/char literal contents, so a `panic!` inside a doc example or an
-//! `as u32` inside a string can never trip a rule. Comment text is kept
-//! separately so `apc-lint: allow(..)` directives and doc anchors can be
-//! read back out.
+//! `.rs` file is run through the [`crate::lexer`] (a whole-file lexer, so
+//! raw strings, multi-line string literals and nested block comments are
+//! classified correctly), which yields both a token stream and per-line
+//! code/comment masks. A `panic!` inside a doc example or an `as u32`
+//! inside a string can never trip a rule. Comment text is kept separately
+//! so `apc-lint: allow(..)` directives and doc anchors can be read back
+//! out.
 
+use crate::lexer::{self, Token};
 use crate::{LintError, RuleId, Violation};
 use std::collections::BTreeMap;
 use std::fs;
@@ -28,6 +31,8 @@ pub struct SourceFile {
     pub comment_lines: Vec<String>,
     /// `true` for lines inside a `#[cfg(test)]` module.
     pub test_lines: Vec<bool>,
+    /// The file's token stream (comments and whitespace removed).
+    pub tokens: Vec<Token>,
     /// Allow directives: line number (1-based) → rules allowed there.
     pub allows: BTreeMap<usize, Vec<RuleId>>,
     /// Malformed directives found while scanning.
@@ -54,6 +59,11 @@ impl SourceFile {
     /// or on the line directly above).
     pub fn allowed(&self, rule: RuleId, line: usize) -> bool {
         has_allow(&self.allows, rule, line)
+    }
+
+    /// Whether `line` (1-based) falls inside a `#[cfg(test)]` region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        line >= 1 && self.test_lines.get(line - 1).copied().unwrap_or(false)
     }
 
     /// Violations for malformed directives.
@@ -158,167 +168,18 @@ fn walk(
     Ok(())
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum LexState {
-    Normal,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-    Char,
-}
-
-/// Lexes Rust source into per-line code and comment masks, then derives
-/// test regions and allow directives.
+/// Lexes Rust source (whole file at once), then derives test regions and
+/// allow directives from the per-line masks.
 pub fn scan_rust(rel_path: &str, text: &str) -> SourceFile {
     let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
-    let mut code_lines: Vec<String> = Vec::with_capacity(raw_lines.len());
-    let mut comment_lines: Vec<String> = Vec::with_capacity(raw_lines.len());
-
-    let mut state = LexState::Normal;
-    for raw in &raw_lines {
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let chars: Vec<char> = raw.chars().collect();
-        let mut i = 0usize;
-        // A line comment never survives past its line.
-        if state == LexState::LineComment {
-            state = LexState::Normal;
-        }
-        while i < chars.len() {
-            let c = chars[i];
-            let next = chars.get(i + 1).copied();
-            match state {
-                LexState::Normal => match c {
-                    '/' if next == Some('/') => {
-                        state = LexState::LineComment;
-                        comment.push_str(&raw[byte_index(raw, i)..]);
-                        break;
-                    }
-                    '/' if next == Some('*') => {
-                        state = LexState::BlockComment(1);
-                        code.push(' ');
-                        code.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    '"' => {
-                        state = LexState::Str;
-                        code.push('"');
-                    }
-                    'r' if next == Some('"') || next == Some('#') => {
-                        // Possible raw string r"..." / r#"..."#.
-                        let mut j = i + 1;
-                        let mut hashes = 0u32;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') {
-                            state = LexState::RawStr(hashes);
-                            code.push('r');
-                            for _ in 0..hashes {
-                                code.push('#');
-                            }
-                            code.push('"');
-                            i = j + 1;
-                            continue;
-                        }
-                        code.push(c);
-                    }
-                    '\'' => {
-                        // Distinguish lifetimes ('a) from char literals ('x').
-                        let is_lifetime = next.is_some_and(|n| n.is_alphanumeric() || n == '_')
-                            && chars.get(i + 2) != Some(&'\'');
-                        if is_lifetime {
-                            code.push(c);
-                        } else {
-                            state = LexState::Char;
-                            code.push('\'');
-                        }
-                    }
-                    _ => code.push(c),
-                },
-                LexState::LineComment => unreachable_state(&mut code),
-                LexState::BlockComment(depth) => {
-                    if c == '*' && next == Some('/') {
-                        comment.push(' ');
-                        if depth == 1 {
-                            state = LexState::Normal;
-                        } else {
-                            state = LexState::BlockComment(depth - 1);
-                        }
-                        code.push(' ');
-                        code.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    if c == '/' && next == Some('*') {
-                        state = LexState::BlockComment(depth + 1);
-                        code.push(' ');
-                        code.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    comment.push(c);
-                    code.push(' ');
-                }
-                LexState::Str => match c {
-                    '\\' => {
-                        code.push(' ');
-                        code.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    '"' => {
-                        state = LexState::Normal;
-                        code.push('"');
-                    }
-                    _ => code.push(' '),
-                },
-                LexState::RawStr(hashes) => {
-                    if c == '"' {
-                        let mut j = i + 1;
-                        let mut seen = 0u32;
-                        while seen < hashes && chars.get(j) == Some(&'#') {
-                            seen += 1;
-                            j += 1;
-                        }
-                        if seen == hashes {
-                            state = LexState::Normal;
-                            code.push('"');
-                            for _ in 0..hashes {
-                                code.push('#');
-                            }
-                            i = j;
-                            continue;
-                        }
-                    }
-                    code.push(' ');
-                }
-                LexState::Char => match c {
-                    '\\' => {
-                        code.push(' ');
-                        code.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    '\'' => {
-                        state = LexState::Normal;
-                        code.push('\'');
-                    }
-                    _ => code.push(' '),
-                },
-            }
-            i += 1;
-        }
-        // Strings may span lines; chars cannot.
-        if state == LexState::Char {
-            state = LexState::Normal;
-        }
-        code_lines.push(code);
-        comment_lines.push(comment);
-    }
+    let out = lexer::lex(text);
+    let mut code_lines = out.code_lines;
+    let mut comment_lines = out.comment_lines;
+    // `str::lines` and the lexer agree on line counts for well-formed
+    // input; pad defensively so per-line indexing can never go out of
+    // bounds on degenerate files.
+    code_lines.resize(raw_lines.len().max(code_lines.len()), String::new());
+    comment_lines.resize(code_lines.len(), String::new());
 
     let test_lines = mark_test_regions(&code_lines);
     let (allows, bad_directives) = parse_directives(&comment_lines);
@@ -329,15 +190,11 @@ pub fn scan_rust(rel_path: &str, text: &str) -> SourceFile {
         code_lines,
         comment_lines,
         test_lines,
+        tokens: out.tokens,
         allows,
         bad_directives,
     }
 }
-
-// Line comments are consumed whole at line start; the state machine never
-// steps a character inside one. Kept as a function so the match stays
-// exhaustive without a panicking arm (this file must pass its own L2).
-fn unreachable_state(_code: &mut String) {}
 
 /// Marks lines belonging to `#[cfg(test)]`-gated modules by brace
 /// matching on the code mask.
@@ -389,15 +246,13 @@ fn parse_directives(
     let mut bad: Vec<(usize, String)> = Vec::new();
     for (idx, comment) in comment_lines.iter().enumerate() {
         let line_no = idx + 1;
-        // A directive must start the comment: `// apc-lint: ...` (one
-        // optional doc sigil `/` or `!` after the `//` is tolerated).
-        // Prose or code examples that merely *mention* `apc-lint:`
-        // deeper in a comment are not directives.
+        // A directive must start the comment: `// apc-lint: ...` (doc
+        // sigils and block-comment openers are tolerated). Prose or code
+        // examples that merely *mention* `apc-lint:` deeper in a comment
+        // are not directives.
         let body = comment
             .trim_start()
-            .trim_start_matches('#')
-            .trim_start_matches('/')
-            .trim_start_matches(['/', '!'])
+            .trim_start_matches(['#', '/', '!', '*'])
             .trim_start();
         let Some(rest) = body.strip_prefix("apc-lint:") else {
             continue;
@@ -476,13 +331,6 @@ pub fn scan_toml(rel_path: &str, text: &str) -> ManifestFile {
     }
 }
 
-fn byte_index(s: &str, char_idx: usize) -> usize {
-    s.char_indices()
-        .nth(char_idx)
-        .map(|(b, _)| b)
-        .unwrap_or(s.len())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,6 +358,20 @@ mod tests {
     }
 
     #[test]
+    fn multi_line_strings_are_blanked() {
+        let f = scan_rust("t.rs", "let s = \"first\nsecond .unwrap()\";\nlet y = 1;\n");
+        assert!(!f.code_lines[1].contains("unwrap"));
+        assert_eq!(f.code_lines[2], "let y = 1;");
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let f = scan_rust("t.rs", "a /* x /* y */ still */ b\n");
+        assert!(f.code_lines[0].contains('b'));
+        assert!(!f.code_lines[0].contains("still"));
+    }
+
+    #[test]
     fn char_literals_and_lifetimes() {
         let f = scan_rust("t.rs", "fn f<'a>(x: &'a str) { let c = 'x'; }\n");
         assert!(f.code_lines[0].contains("'a"));
@@ -527,17 +389,31 @@ mod tests {
     fn directives_parse_and_reject() {
         let src = "\
 // apc-lint: allow(L2) -- locally provable\nx.unwrap();\n\
-// apc-lint: allow(L9) -- nope\n// apc-lint: allow(L2)\n";
+// apc-lint: allow(L99) -- nope\n// apc-lint: allow(L2)\n";
         let f = scan_rust("t.rs", src);
         assert!(f.allowed(RuleId::L2, 2));
         assert_eq!(f.bad_directives.len(), 2);
     }
 
     #[test]
+    fn new_rule_ids_are_valid_in_directives() {
+        let src = "// apc-lint: allow(L12) -- stat counter, no ordering needed\nx;\n";
+        let f = scan_rust("t.rs", src);
+        assert!(f.allowed(RuleId::L12, 2));
+        assert!(f.bad_directives.is_empty());
+    }
+
+    #[test]
     fn doc_comment_examples_do_not_leak_into_code() {
         let src = "/// ```\n/// x.unwrap();\n/// ```\npub fn f() {}\n";
         let f = scan_rust("t.rs", src);
-        assert!(f.code_lines[1].is_empty());
+        assert!(f.code_lines[1].trim().is_empty());
         assert!(f.comment_lines[1].contains("unwrap"));
+    }
+
+    #[test]
+    fn tokens_are_exposed_on_source_files() {
+        let f = scan_rust("t.rs", "fn f() { a.lock(); }\n");
+        assert!(f.tokens.iter().any(|t| t.is_ident("lock")));
     }
 }

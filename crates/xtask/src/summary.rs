@@ -1,0 +1,355 @@
+//! Per-function call/acquisition summaries.
+//!
+//! For every non-test function in the item map, one walk over its body
+//! tokens yields: which locks it acquires (and which guards were already
+//! held at each acquisition), and which functions it calls (and under
+//! which held guards). [`crate::flow`] stitches these into the
+//! cross-file lock-order graph.
+//!
+//! Guard lifetimes are tracked structurally: a guard bound by `let` lives
+//! to the end of its enclosing block (or an explicit `drop(binding)`); an
+//! unbound guard (`self.lock().push(x);`) is a temporary that dies at the
+//! statement's `;`.
+
+use crate::items::{FnItem, Workspace};
+use crate::lexer::TokenKind;
+use crate::scan::SourceFile;
+
+/// One lock acquisition inside a function body.
+#[derive(Debug)]
+pub struct Acquisition {
+    /// Lock name, crate-qualified (`crates/serve::state`).
+    pub lock: String,
+    /// 1-based source line of the acquisition.
+    pub line: usize,
+    /// Locks already held at this point (crate-qualified).
+    pub held: Vec<String>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Last path segment of the callee (`push`, `duration_ns`, …).
+    pub callee: String,
+    /// First path segment when the call is path-qualified
+    /// (`apc_trace::…` → `apc_trace`), empty otherwise.
+    pub path_root: String,
+    /// 1-based source line of the call.
+    pub line: usize,
+    /// Locks held at the call (crate-qualified).
+    pub held: Vec<String>,
+}
+
+/// Summary of one function body.
+#[derive(Debug)]
+pub struct FnSummary {
+    /// Index into [`Workspace::fns`].
+    pub fn_idx: usize,
+    /// Every lock acquisition, in body order.
+    pub acquisitions: Vec<Acquisition>,
+    /// Every call site, in body order.
+    pub calls: Vec<CallSite>,
+}
+
+#[derive(Debug)]
+struct GuardScope {
+    lock: String,
+    binding: Option<String>,
+    depth: i32,
+}
+
+/// Builds summaries for all non-test functions.
+pub fn summarize(sources: &[SourceFile], ws: &Workspace) -> Vec<FnSummary> {
+    let mut out = Vec::new();
+    for (fn_idx, f) in ws.fns.iter().enumerate() {
+        if f.is_test || f.body_start >= f.body_end {
+            continue;
+        }
+        out.push(summarize_fn(sources, ws, fn_idx, f));
+    }
+    out
+}
+
+/// Token ranges of functions nested inside `f` (skipped during the walk —
+/// their bodies execute under their own call frames, not `f`'s locks).
+fn nested_ranges(ws: &Workspace, f: &FnItem) -> Vec<(usize, usize)> {
+    ws.fns
+        .iter()
+        .filter(|g| {
+            g.file == f.file && g.sig_start > f.sig_start && g.body_end <= f.body_end
+        })
+        .map(|g| (g.sig_start, g.body_end))
+        .collect()
+}
+
+fn summarize_fn(sources: &[SourceFile], ws: &Workspace, fn_idx: usize, f: &FnItem) -> FnSummary {
+    let toks = &sources[f.file].tokens;
+    let crate_dir = &ws.crate_of_file[f.file];
+    let nested = nested_ranges(ws, f);
+    let qualify = |lock: &str| format!("{crate_dir}::{lock}");
+
+    let mut guards: Vec<GuardScope> = Vec::new();
+    let mut acquisitions = Vec::new();
+    let mut calls = Vec::new();
+    let mut depth: i32 = 0;
+    // The binding of the innermost pending `let` in the current statement.
+    let mut pending_let: Option<String> = None;
+
+    let mut i = f.body_start;
+    while i < f.body_end {
+        if let Some(&(_, end)) = nested.iter().find(|&&(s, e)| i >= s && i < e) {
+            i = end;
+            continue;
+        }
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" if t.kind == TokenKind::Punct => depth += 1,
+            "}" if t.kind == TokenKind::Punct => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            ";" if t.kind == TokenKind::Punct => {
+                // Temporary (unbound) guards die at the statement end.
+                guards.retain(|g| g.binding.is_some() || g.depth < depth);
+                pending_let = None;
+            }
+            "let" if t.kind == TokenKind::Ident => {
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some(name) = toks.get(j).filter(|t| t.kind == TokenKind::Ident) {
+                    pending_let = Some(name.text.clone());
+                }
+            }
+            "drop" if t.kind == TokenKind::Ident => {
+                // `drop(binding)` releases that guard early.
+                let dropped = toks
+                    .get(i + 1)
+                    .filter(|t| t.is_punct("("))
+                    .and_then(|_| toks.get(i + 2))
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.clone());
+                if let Some(name) = dropped {
+                    guards.retain(|g| g.binding.as_deref() != Some(&name));
+                }
+            }
+            _ => {}
+        }
+
+        // Acquisition patterns, checked at the receiver ident.
+        if t.kind == TokenKind::Ident {
+            if let Some(lock) = acquisition_at(toks, i, f, crate_dir, ws) {
+                let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                acquisitions.push(Acquisition {
+                    lock: qualify(&lock),
+                    line: t.line,
+                    held,
+                });
+                guards.push(GuardScope {
+                    lock: qualify(&lock),
+                    binding: pending_let.clone(),
+                    depth,
+                });
+            } else if toks.get(i + 1).is_some_and(|n| n.is_punct("(")) && !is_keyword(&t.text) {
+                let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                calls.push(CallSite {
+                    callee: t.text.clone(),
+                    path_root: path_root(toks, i),
+                    line: t.line,
+                    held,
+                });
+            }
+        }
+        i += 1;
+    }
+
+    FnSummary {
+        fn_idx,
+        acquisitions,
+        calls,
+    }
+}
+
+/// If the ident at `i` is the receiver/callee of a lock acquisition,
+/// returns the (unqualified) lock name.
+///
+/// Recognized shapes:
+/// - `<recv>.lock()` — lock named `recv` (skipping a `self.` prefix);
+/// - `<recv>.helper()` / `self.helper()` / `helper()` where `helper` is a
+///   guard-returning helper of the same crate — the helper's lock.
+fn acquisition_at(
+    toks: &[crate::lexer::Token],
+    i: usize,
+    f: &FnItem,
+    crate_dir: &str,
+    ws: &Workspace,
+) -> Option<String> {
+    let name = &toks[i].text;
+    let is_call = toks.get(i + 1).is_some_and(|t| t.is_punct("("));
+    if !is_call || i < f.body_start {
+        return None;
+    }
+    // `<recv>.lock()`: the callee ident is `lock` and a receiver precedes.
+    if name == "lock" && i >= 2 && toks[i - 1].is_punct(".") {
+        let recv = &toks[i - 2];
+        if recv.kind == TokenKind::Ident && recv.text != "self" {
+            return Some(recv.text.clone());
+        }
+        // `self.lock()` — resolve through the helper table.
+        if recv.is_ident("self") {
+            if let Some(lock) = ws
+                .guard_helpers
+                .get(&(crate_dir.to_string(), "lock".to_string()))
+            {
+                return Some(lock.clone());
+            }
+        }
+        return None;
+    }
+    // Helper call: `self.lock_tallies()` / `lock_tallies()`.
+    if let Some(lock) = ws
+        .guard_helpers
+        .get(&(crate_dir.to_string(), name.clone()))
+    {
+        // Do not count the helper's own body as calling itself.
+        if ws.fns[..].iter().enumerate().any(|(idx, g)| {
+            ws.fn_by_name
+                .get(&(crate_dir.to_string(), name.clone()))
+                .is_some_and(|v| v.contains(&idx))
+                && g.sig_start <= i
+                && i < g.body_end
+                && g.file == f.file
+        }) {
+            return None;
+        }
+        return Some(lock.clone());
+    }
+    None
+}
+
+/// For a path-qualified call (`apc_trace::span::duration_ns(..)`), the
+/// first path segment; empty for bare and method calls.
+fn path_root(toks: &[crate::lexer::Token], callee_idx: usize) -> String {
+    let mut i = callee_idx;
+    let mut root = String::new();
+    while i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].kind == TokenKind::Ident {
+        root = toks[i - 2].text.clone();
+        i -= 2;
+    }
+    root
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while" | "for" | "match" | "loop" | "return" | "fn" | "let" | "move" | "in"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+    use crate::scan::scan_rust;
+
+    fn summaries(src: &str) -> (Vec<SourceFile>, Workspace, Vec<FnSummary>) {
+        let files = vec![scan_rust("crates/serve/src/queue.rs", src)];
+        let ws = items::build(&files, &[]);
+        let sums = summarize(&files, &ws);
+        (files, ws, sums)
+    }
+
+    fn fn_summary<'a>(
+        ws: &Workspace,
+        sums: &'a [FnSummary],
+        name: &str,
+    ) -> &'a FnSummary {
+        let found = sums
+            .iter()
+            .find(|s| ws.fns[s.fn_idx].name == name);
+        match found {
+            Some(s) => s,
+            None => unreachable!("no summary for fn `{name}`"),
+        }
+    }
+
+    #[test]
+    fn direct_lock_acquisition_is_recorded() {
+        let (_, ws, sums) = summaries("fn f(a: &Mutex<u32>) { let g = a.lock(); use_it(g); }\n");
+        let s = fn_summary(&ws, &sums, "f");
+        assert_eq!(s.acquisitions.len(), 1);
+        assert_eq!(s.acquisitions[0].lock, "crates/serve::a");
+        assert!(s.acquisitions[0].held.is_empty());
+    }
+
+    #[test]
+    fn nested_acquisition_sees_held_lock() {
+        let (_, ws, sums) =
+            summaries("fn f() { let g = alpha.lock(); let h = beta.lock(); }\n");
+        let s = fn_summary(&ws, &sums, "f");
+        assert_eq!(s.acquisitions.len(), 2);
+        assert_eq!(s.acquisitions[1].held, vec!["crates/serve::alpha"]);
+    }
+
+    #[test]
+    fn drop_releases_a_guard() {
+        let (_, ws, sums) = summaries(
+            "fn f() { let g = alpha.lock(); drop(g); let h = beta.lock(); }\n",
+        );
+        let s = fn_summary(&ws, &sums, "f");
+        assert!(s.acquisitions[1].held.is_empty());
+    }
+
+    #[test]
+    fn block_scoped_guard_is_released_at_brace() {
+        let (_, ws, sums) =
+            summaries("fn f() { { let g = alpha.lock(); } let h = beta.lock(); }\n");
+        let s = fn_summary(&ws, &sums, "f");
+        assert!(s.acquisitions[1].held.is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let (_, ws, sums) =
+            summaries("fn f() { alpha.lock().push(1); let h = beta.lock(); }\n");
+        let s = fn_summary(&ws, &sums, "f");
+        assert!(s.acquisitions[1].held.is_empty());
+    }
+
+    #[test]
+    fn calls_record_held_locks() {
+        let (_, ws, sums) = summaries("fn f() { let g = alpha.lock(); helper(1); }\n");
+        let s = fn_summary(&ws, &sums, "f");
+        let call = s.calls.iter().find(|c| c.callee == "helper");
+        assert!(call.is_some_and(|c| c.held == vec!["crates/serve::alpha"]));
+    }
+
+    #[test]
+    fn guard_helper_calls_count_as_acquisitions() {
+        let (_, ws, sums) = summaries(
+            "impl Q {\n\
+             fn lock(&self) -> MutexGuard<'_, State> { self.state.lock() }\n\
+             fn use_it(&self) { let s = self.lock(); let d = dispatch.lock(); }\n\
+             }\n",
+        );
+        let s = fn_summary(&ws, &sums, "use_it");
+        assert_eq!(s.acquisitions.len(), 2);
+        assert_eq!(s.acquisitions[0].lock, "crates/serve::state");
+        assert_eq!(s.acquisitions[1].held, vec!["crates/serve::state"]);
+    }
+
+    #[test]
+    fn path_roots_are_captured() {
+        let (_, ws, sums) =
+            summaries("fn f() { apc_trace::span::duration_ns(d); plain(); }\n");
+        let s = fn_summary(&ws, &sums, "f");
+        let roots: Vec<(&str, &str)> = s
+            .calls
+            .iter()
+            .map(|c| (c.callee.as_str(), c.path_root.as_str()))
+            .collect();
+        assert!(roots.contains(&("duration_ns", "apc_trace")));
+        assert!(roots.contains(&("plain", "")));
+    }
+}
