@@ -11,7 +11,13 @@
 //!
 //! Build with `--features parallel` for a real comparison; without the
 //! feature both columns time the same sequential path and the JSON says so
-//! in `parallel_feature`. Every timed pair is also checked bit-identical.
+//! in `parallel_feature`. `threads` is the worker count of the *actual*
+//! pool (honoring the `APC_THREADS` override), and `parallel_effective`
+//! records whether the parallel column really dispatched across threads —
+//! when it did not (feature off, or a 1-worker pool), the per-row
+//! `speedup` is emitted as `null` so the JSON can never read as a
+//! parallel measurement that never ran in parallel. Every timed pair is
+//! also checked bit-identical.
 
 use apc_bench::{fmt_seconds, header, time_best};
 use apc_bignum::Nat;
@@ -27,29 +33,37 @@ struct Row {
     seq_seconds: f64,
     par_seconds: f64,
     bit_identical: bool,
+    /// Whether the "parallel" column actually ran multi-threaded; rows
+    /// timed on a sequential dispatch carry `speedup: null`.
+    effective: bool,
 }
 
 impl Row {
     fn json(&self) -> String {
+        let speedup = if self.effective {
+            format!("{}", self.seq_seconds / self.par_seconds)
+        } else {
+            "null".to_string()
+        };
         format!(
             "{{\"bits\": {}, \"algorithm\": \"{}\", \"seq_seconds\": {}, \"par_seconds\": {}, \"speedup\": {}, \"bit_identical\": {}}}",
-            self.bits,
-            self.algorithm,
-            self.seq_seconds,
-            self.par_seconds,
-            self.seq_seconds / self.par_seconds,
-            self.bit_identical
+            self.bits, self.algorithm, self.seq_seconds, self.par_seconds, speedup, self.bit_identical
         )
     }
 
     fn print(&self) {
+        let speedup = if self.effective {
+            format!("{:>8.2}x", self.seq_seconds / self.par_seconds)
+        } else {
+            format!("{:>9}", "--")
+        };
         println!(
-            "{:>10} {:>10} {:>12} {:>12} {:>8.2}x {}",
+            "{:>10} {:>10} {:>12} {:>12} {} {}",
             self.bits,
             self.algorithm,
             fmt_seconds(self.seq_seconds),
             fmt_seconds(self.par_seconds),
-            self.seq_seconds / self.par_seconds,
+            speedup,
             if self.bit_identical { "exact" } else { "MISMATCH" }
         );
     }
@@ -65,7 +79,17 @@ fn table_header() {
 fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let parallel_feature = cfg!(feature = "parallel");
-    let threads = apc_bignum::par::max_threads();
+    // The real pool size (not `max_threads`, which reports 1 whenever the
+    // runtime switch has dispatch turned off — as it is during the
+    // sequential timing legs below).
+    let threads = apc_bignum::par::pool_threads();
+    let parallel_effective = parallel_feature && threads > 1;
+    if !parallel_effective {
+        println!(
+            "note: parallel dispatch is not effective (feature: {parallel_feature}, pool \
+             workers: {threads}); speedup fields will be null"
+        );
+    }
 
     // Structural model: the PE(b, w) grid of Accelerator::multiply. The
     // grid is small at these sizes, so reps are cheap.
@@ -88,6 +112,7 @@ fn main() {
             seq_seconds: time_best(5, 10.0, || acc.multiply_sequential(&a, &b)),
             par_seconds: time_best(5, 10.0, || acc.multiply(&a, &b)),
             bit_identical,
+            effective: parallel_effective,
         };
         row.print();
         accel_rows.push(row);
@@ -115,6 +140,7 @@ fn main() {
             seq_seconds,
             par_seconds,
             bit_identical: seq_product == par_product,
+            effective: parallel_effective,
         };
         row.print();
         sw_rows.push(row);
@@ -125,6 +151,7 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"mul_parallel\",");
     let _ = writeln!(json, "  \"parallel_feature\": {parallel_feature},");
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"parallel_effective\": {parallel_effective},");
     for (key, rows) in [("accelerator", &accel_rows), ("software_mul", &sw_rows)] {
         let _ = writeln!(json, "  \"{key}\": [");
         for (i, row) in rows.iter().enumerate() {

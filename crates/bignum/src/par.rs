@@ -15,11 +15,19 @@
 //! sites (Toom-k, SSA) consult it, while callers that pass an explicit
 //! `parallel` flag (the `cambricon-p` structural model) are unaffected.
 //!
+//! Dispatch rides on the vendored rayon work-stealing pool: tasks split
+//! recursively via `rayon::join` down to a grain sized from the *actual*
+//! pool (`rayon::current_num_threads`, i.e. the enclosing `ThreadPool`
+//! inside `install`, the `APC_THREADS`-sized global pool elsewhere), so
+//! the split factor matches the workers that will really run.
+//!
 //! Nested data parallelism is suppressed: when a worker spawned by
 //! [`map_indexed`] itself reaches another `map_indexed` (e.g. an SSA
 //! pointwise product large enough to recurse into Toom-k), the inner call
-//! runs sequentially on that worker. This bounds the thread count at
-//! roughly the splitting factor of the outermost call.
+//! runs sequentially on that worker. The pool would handle nested forks
+//! fine; the guard keeps the task tree (and thus scheduling overhead)
+//! bounded by the outermost split and the per-task work deterministic in
+//! shape.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,9 +59,23 @@ pub fn parallel_enabled() -> bool {
     cfg!(feature = "parallel") && ENABLED.load(Ordering::Acquire)
 }
 
-/// Number of worker threads a parallel dispatch may use (1 without the
-/// `parallel` feature).
+/// Number of worker threads a parallel dispatch may use *right now*: the
+/// pool size when dispatch is live, `1` when it is sequential (feature
+/// off, or the runtime switch turned off). Callers sizing grains or
+/// batches from this value therefore never plan for threads that will
+/// not run.
 pub fn max_threads() -> usize {
+    if parallel_enabled() {
+        pool_threads()
+    } else {
+        1
+    }
+}
+
+/// Worker count of the underlying pool (the enclosing `ThreadPool`'s on
+/// a pool worker, the global pool's otherwise), independent of the
+/// runtime switch. `1` without the `parallel` feature.
+pub fn pool_threads() -> usize {
     #[cfg(feature = "parallel")]
     {
         rayon::current_num_threads()
@@ -145,6 +167,33 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// Serializes tests that mutate the process-global `ENABLED` switch
+    /// (the default test harness runs siblings concurrently) and restores
+    /// the prior state on drop — including the panic path, so one failing
+    /// assertion cannot leak a disabled switch into other tests.
+    struct SwitchGuard {
+        prev: bool,
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    impl SwitchGuard {
+        fn acquire() -> SwitchGuard {
+            static SWITCH_TESTS: Mutex<()> = Mutex::new(());
+            let lock = SWITCH_TESTS.lock().unwrap_or_else(PoisonError::into_inner);
+            SwitchGuard {
+                prev: ENABLED.load(Ordering::Acquire),
+                _lock: lock,
+            }
+        }
+    }
+
+    impl Drop for SwitchGuard {
+        fn drop(&mut self) {
+            set_parallel_enabled(self.prev);
+        }
+    }
 
     #[test]
     fn map_preserves_index_order() {
@@ -173,14 +222,29 @@ mod tests {
 
     #[test]
     fn runtime_switch_round_trips() {
+        let _guard = SwitchGuard::acquire();
         set_parallel_enabled(false);
         assert!(!parallel_enabled());
-        set_parallel_enabled(true); // restore the default
+        set_parallel_enabled(true);
         assert_eq!(parallel_enabled(), cfg!(feature = "parallel"));
     }
 
     #[test]
     fn threads_reported_positive() {
         assert!(max_threads() >= 1);
+        assert!(pool_threads() >= 1);
+    }
+
+    #[test]
+    fn max_threads_is_one_when_dispatch_is_sequential() {
+        let _guard = SwitchGuard::acquire();
+        set_parallel_enabled(false);
+        assert_eq!(
+            max_threads(),
+            1,
+            "grain sizing must not plan for threads that will never run"
+        );
+        set_parallel_enabled(true);
+        assert_eq!(max_threads(), if cfg!(feature = "parallel") { pool_threads() } else { 1 });
     }
 }

@@ -1,0 +1,29 @@
+//! Relaxed pool atomics: L12's scope includes the work-stealing pool
+//! behind the rayon facade, so its gate/park flags get the same audit as
+//! workspace flag atomics.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A latch-style gate plus a steal statistic.
+pub struct WorkerLatch {
+    done: AtomicBool,
+    steals: AtomicU64,
+}
+
+impl WorkerLatch {
+    /// Relaxed store on the latch: the waiter may observe `done` before
+    /// the result write it gates becomes visible. (1)
+    pub fn set(&self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+
+    /// Relaxed probe of the latch synchronizes with nothing. (2)
+    pub fn probe(&self) -> bool {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed on a statistic counter is exactly right — not flagged.
+    pub fn count_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture pool file: the clean side of L12's vendor/rayon coverage —
+//! gate/park flags on Acquire/Release, plus one justified Relaxed probe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Termination gate for a miniature registry.
+pub struct Registry {
+    terminate: AtomicBool,
+}
+
+impl Registry {
+    /// Release store so exiting workers observe everything published
+    /// before the shutdown request.
+    pub fn terminate(&self) {
+        self.terminate.store(true, Ordering::Release);
+    }
+
+    /// Acquire load pairs with the Release store above.
+    pub fn terminated(&self) -> bool {
+        self.terminate.load(Ordering::Acquire)
+    }
+
+    /// An advisory probe may stay Relaxed with a stated reason.
+    pub fn terminate_hint(&self) -> bool {
+        // apc-lint: allow(L12) -- advisory fast path; callers re-check with Acquire under the sleep lock
+        self.terminate.load(Ordering::Relaxed)
+    }
+}

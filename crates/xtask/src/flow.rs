@@ -9,7 +9,7 @@
 
 use crate::items::Workspace;
 use crate::lexer::{Token, TokenKind};
-use crate::rules::is_library_source;
+use crate::rules::{is_library_source, is_pool_source};
 use crate::scan::SourceFile;
 use crate::summary::FnSummary;
 use crate::{RuleId, Violation};
@@ -68,6 +68,14 @@ fn resolve_call(
 /// cycle. A cycle means two threads taking the locks in opposite orders
 /// can deadlock; the serve scheduler and the planned lock-free admission
 /// rework must stay provably order-consistent.
+///
+/// The `vendor/rayon` pool is out of scope: L9 identifies locks
+/// lexically, and the pool routes every mutex (per-worker deques,
+/// injector, sleep gate) through one generic `lock(m)` helper, so each
+/// steal-scan acquisition would alias to the same name and read as a
+/// re-entrant cycle. The pool's deadlock-freedom rests on workers
+/// *stealing* while they wait instead of blocking (DESIGN.md §Host
+/// parallelism), which is not a lock-order property.
 pub fn l9_lock_order(
     sources: &[SourceFile],
     ws: &Workspace,
@@ -107,6 +115,9 @@ pub fn l9_lock_order(
     let mut edges: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
     for s in sums {
         let file_idx = ws.fns[s.fn_idx].file;
+        if is_pool_source(&sources[file_idx].rel_path) {
+            continue;
+        }
         let fn_name = &ws.fns[s.fn_idx].name;
         for a in &s.acquisitions {
             for h in &a.held {
@@ -682,11 +693,18 @@ const ATOMIC_METHODS: &[&str] = &[
 /// synchronizes nothing: the reader may act on the flag yet miss the
 /// writes the flag was supposed to publish. Flag atomics use
 /// Acquire/Release (or stronger), or carry a justified allow.
+///
+/// Scope is library source *plus* the `vendor/rayon` pool: the pool's
+/// latch and termination flags are the load-bearing gate atomics of the
+/// whole parallel feature (a relaxed latch probe could report a join
+/// complete before its result write is visible), so they get the same
+/// audit as workspace flags.
 pub fn l12_atomic_orderings(sources: &[SourceFile], ws: &Workspace) -> Vec<Violation> {
     let mut out = Vec::new();
     for f in &ws.fns {
         let src = &sources[f.file];
-        if f.is_test || !is_library_source(&src.rel_path) {
+        let in_scope = is_library_source(&src.rel_path) || is_pool_source(&src.rel_path);
+        if f.is_test || !in_scope {
             continue;
         }
         let toks = &src.tokens;

@@ -24,7 +24,7 @@
 //! | L9 | no cycles in the "mutex A held while acquiring B" graph (cross-file, call-resolved) |
 //! | L10 | no expression mixes apc-trace's cycle domain and Instant-ns domain |
 //! | L11 | no bare `+`/`-`/`*`/`<<` on limb-typed values in the arithmetic kernels |
-//! | L12 | `Ordering::Relaxed` only on statistic counters, never on gate/flag `AtomicBool`s |
+//! | L12 | `Ordering::Relaxed` only on statistic counters, never on gate/flag `AtomicBool`s (library paths *and* the `vendor/rayon` pool) |
 //!
 //! L1–L8 are per-line checks over masked source; L9–L12 are *flow*
 //! rules, computed on the token-tree engine ([`lexer`] → [`items`] →
@@ -157,7 +157,7 @@ impl RuleId {
                 "no bare +/-/*/<< on limb-typed values in kernel paths (route through limb.rs or wrapping_/checked_)"
             }
             RuleId::L12 => {
-                "Ordering::Relaxed only on statistic counters; gate/flag AtomicBools need Acquire/Release"
+                "Ordering::Relaxed only on statistic counters; gate/flag AtomicBools (incl. the vendor/rayon pool's) need Acquire/Release"
             }
         }
     }

@@ -6,7 +6,8 @@
 //!   explicit root); exits nonzero when violations are found. With
 //!   `--json`, emits one stable machine-readable object (schema:
 //!   `root`, `count`, `findings[{rule, path, line, message, allowed}]`).
-//! - `ci` — run the full tier-1 gate (release build, tests, lint) and
+//! - `ci` — run the full tier-1 gate (release build and tests in both
+//!   feature states — default and `--features parallel` — then lint) and
 //!   print a one-line PASS/FAIL summary.
 //! - `rules` — list the lint rules.
 
@@ -124,12 +125,18 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Runs the tier-1 sequence — release build, tests, then in-process
-/// lint — and prints a one-line summary. Stops at the first failing
-/// step so the summary names the culprit.
+/// Runs the tier-1 sequence — release build, tests, the same pair again
+/// with the `parallel` feature (the work-stealing pool and its dispatch
+/// paths only compile and run under that feature), then in-process lint —
+/// and prints a one-line summary. Stops at the first failing step so the
+/// summary names the culprit.
 fn ci() -> ExitCode {
-    let steps: [(&str, &[&str]); 2] =
-        [("build", &["build", "--release"]), ("test", &["test", "-q"])];
+    let steps: [(&str, &[&str]); 4] = [
+        ("build", &["build", "--release"]),
+        ("test", &["test", "-q"]),
+        ("build(parallel)", &["build", "--release", "--features", "parallel"]),
+        ("test(parallel)", &["test", "-q", "--features", "parallel"]),
+    ];
     for (name, cargo_args) in steps {
         println!("ci: cargo {}", cargo_args.join(" "));
         match std::process::Command::new("cargo").args(cargo_args).status() {
@@ -149,7 +156,7 @@ fn ci() -> ExitCode {
     let root = xtask::default_workspace_root();
     match xtask::lint_tree(&root) {
         Ok(v) if v.is_empty() => {
-            println!("ci: PASS (build, test, lint)");
+            println!("ci: PASS (build+test, build+test --features parallel, lint)");
             ExitCode::SUCCESS
         }
         Ok(v) => {

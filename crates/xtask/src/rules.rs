@@ -33,6 +33,14 @@ pub(crate) fn is_library_source(rel: &str) -> bool {
     (in_lib_crate || in_root_lib) && !rel.contains("/bin/")
 }
 
+/// The work-stealing pool behind the vendored rayon facade. Not library
+/// source (its unsafe job plumbing is exempt from L1/L2 by design), but
+/// its gate/park atomics are in L12's scope: a relaxed access on the
+/// latch or termination flag is precisely the bug class L12 exists for.
+pub(crate) fn is_pool_source(rel: &str) -> bool {
+    rel.starts_with("vendor/rayon/src/")
+}
+
 fn violation(rule: RuleId, rel: &str, line: usize, message: impl Into<String>) -> Violation {
     Violation {
         rule,

@@ -102,16 +102,27 @@ fn directive_errors(rel_path: &str, bad: &[(usize, String)]) -> Vec<Violation> {
 }
 
 /// Recursively collects and scans every `.rs` file under `root`.
+///
+/// `vendor/` is skipped wholesale (the vendored crates are external API
+/// surfaces, not this workspace's code) with one exception: the
+/// work-stealing pool behind the rayon facade is real concurrent code
+/// written here, and its gate/park atomics are exactly what L12 audits —
+/// so `vendor/rayon` is walked explicitly.
 pub fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, LintError> {
     let mut files = Vec::new();
-    walk(root, root, &mut |abs, rel| {
+    let mut scan_file = |abs: &Path, rel: &str| {
         if rel.ends_with(".rs") {
             let text = fs::read_to_string(abs)
                 .map_err(|e| LintError(format!("reading {}: {e}", abs.display())))?;
             files.push(scan_rust(rel, &text));
         }
         Ok(())
-    })?;
+    };
+    walk(root, root, &mut scan_file)?;
+    let pool = root.join("vendor").join("rayon");
+    if pool.is_dir() {
+        walk(root, &pool, &mut scan_file)?;
+    }
     files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
     Ok(files)
 }

@@ -7,9 +7,33 @@ use cambricon_p_repro::cambricon_p::accelerator::Accelerator;
 use cambricon_p_repro::cambricon_p::gu::{gather_carry_parallel, gather_reference};
 use cambricon_p_repro::cambricon_p::Device;
 use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 fn arb_nat(max_limbs: usize) -> impl Strategy<Value = Nat> {
     prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(Nat::from_limbs)
+}
+
+/// Serializes tests that flip the process-global `par` runtime switch (the
+/// test harness runs siblings concurrently) and restores the documented
+/// default (`true`) on drop — including the panic path, so a failing
+/// assertion cannot leak a disabled switch into unrelated tests.
+struct SwitchGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl SwitchGuard {
+    fn acquire() -> SwitchGuard {
+        static SWITCH_TESTS: Mutex<()> = Mutex::new(());
+        SwitchGuard {
+            _lock: SWITCH_TESTS.lock().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+}
+
+impl Drop for SwitchGuard {
+    fn drop(&mut self) {
+        cambricon_p_repro::apc_bignum::par::set_parallel_enabled(true);
+    }
 }
 
 proptest! {
@@ -91,10 +115,57 @@ proptest! {
         // (operands up to ~76k bits reach Toom-2/3/4 with the default
         // thresholds). The runtime switch must not change any product bit.
         use cambricon_p_repro::apc_bignum::par;
+        let _guard = SwitchGuard::acquire();
         par::set_parallel_enabled(false);
         let seq = &a * &b;
         par::set_parallel_enabled(true);
         let par_product = &a * &b;
         prop_assert_eq!(par_product, seq);
     }
+}
+
+/// The host may have any core count (this CI container has one), so the
+/// global pool alone cannot prove multi-worker behavior. Build an explicit
+/// eight-worker pool and re-prove bit-identity of both parallel layers —
+/// the PE(b, w) grid dispatch and the Toom-6 pointwise-product dispatch —
+/// with work genuinely spread over eight deques.
+#[cfg(feature = "parallel")]
+#[test]
+fn eight_worker_pool_is_bit_identical_to_sequential() {
+    use cambricon_p_repro::apc_bignum::par;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let _guard = SwitchGuard::acquire();
+    let mut rng = StdRng::seed_from_u64(0xA9C);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build()
+        .expect("build 8-worker pool");
+
+    // Structural layer: every observable output of the PE grid — product,
+    // cycle model, pass count, bops tally — must match the sequential
+    // schedule at the bench's largest sweep size.
+    let acc = Accelerator::new_default();
+    let a = Nat::random_exact_bits(8192, &mut rng);
+    let b = Nat::random_exact_bits(8192, &mut rng);
+    let seq = acc.multiply_sequential(&a, &b);
+    let par = pool.install(|| acc.multiply(&a, &b));
+    assert_eq!(par.product, seq.product);
+    assert_eq!(par.cycles, seq.cycles);
+    assert_eq!(par.pe_passes, seq.pe_passes);
+    assert_eq!(par.tally, seq.tally);
+
+    // Software layer: ~128k-bit operands (2000 limbs) land in the Toom-6
+    // region of the default thresholds (1536..6000 limbs), so the eleven
+    // pointwise products fan out across the pool.
+    let a = Nat::random_exact_bits(128_000, &mut rng);
+    let b = Nat::random_exact_bits(128_000, &mut rng);
+    par::set_parallel_enabled(false);
+    let seq_product = &a * &b;
+    par::set_parallel_enabled(true);
+    let par_product = pool.install(|| &a * &b);
+    assert_eq!(par_product, seq_product);
+
+    pool.shutdown();
 }

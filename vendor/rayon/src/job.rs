@@ -1,0 +1,158 @@
+//! Type-erased jobs: the unsafe core of the pool.
+//!
+//! A [`StackJob`] lives in the stack frame of the `join`/`install` call
+//! that created it; a [`JobRef`] is a type- and lifetime-erased pointer to
+//! it that can sit in a deque and be executed by any thread. The erasure
+//! is sound because of two protocol invariants the rest of the crate
+//! upholds:
+//!
+//! 1. **exclusivity** — a `JobRef` is claimed by removing it from exactly
+//!    one `Mutex`-protected deque, so `execute` runs at most once;
+//! 2. **liveness** — the frame owning the `StackJob` does not return until
+//!    the job's latch is set, and the latch is set only *after* the result
+//!    is written, so the pointer never dangles while reachable and the
+//!    result read (after an `Acquire` probe of the latch) is data-race
+//!    free against the `Release` store that published it.
+//!
+//! This mirrors real rayon's `StackJob`/`JobRef` design.
+
+use crate::latch::Latch;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+/// A type-erased, lifetime-erased handle to a job queued for execution.
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointee is a `StackJob` whose closure and result types are
+// constrained `Send` at the only construction sites (`join`, `install`),
+// and the liveness invariant keeps the pointer valid until executed.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Erases `job` into a queueable reference.
+    ///
+    /// # Safety
+    /// The caller must keep `*job` alive until the job has executed (the
+    /// latch-before-return protocol) and must enqueue the returned ref in
+    /// at most one deque.
+    pub(crate) unsafe fn new<T: Job>(job: *const T) -> JobRef {
+        JobRef {
+            data: job.cast(),
+            execute_fn: execute_erased::<T>,
+        }
+    }
+
+    /// Stable identity used to recognize our own job when popping it back
+    /// (live queued jobs are distinct stack frames, so addresses cannot
+    /// collide; claimed jobs are removed before execution, so no stale
+    /// entry survives to alias a reused frame).
+    pub(crate) fn id(&self) -> *const () {
+        self.data
+    }
+
+    /// Runs the job. Consumes the ref: a `JobRef` is executed at most once.
+    ///
+    /// # Safety
+    /// The pointee must still be alive, and no other thread may hold a
+    /// claimable copy of this ref.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+}
+
+/// Implemented by concrete job representations ([`StackJob`]).
+pub(crate) trait Job {
+    /// Executes the job behind the erased pointer.
+    ///
+    /// # Safety
+    /// `this` must point to a live instance and be executed at most once.
+    unsafe fn execute(this: *const Self);
+}
+
+unsafe fn execute_erased<T: Job>(data: *const ()) {
+    // SAFETY: forwarded from `JobRef::execute`, whose contract guarantees
+    // the pointer is a live `*const T` executed at most once.
+    unsafe { T::execute(data.cast()) }
+}
+
+/// Outcome of an executed job: the closure's value or its panic payload.
+pub(crate) enum JobResult<R> {
+    /// Not executed yet (never observed after the latch is set).
+    Pending,
+    /// Closure returned normally.
+    Ok(R),
+    /// Closure panicked; payload to rethrow at the `join` caller.
+    Panic(Box<dyn Any + Send>),
+}
+
+/// A job allocated in the spawning call's stack frame.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    /// Set (after the result is written) when the job has run.
+    pub(crate) latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, latch: Latch) -> StackJob<F, R> {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+            latch,
+        }
+    }
+
+    /// Erases this job into a queueable [`JobRef`].
+    ///
+    /// # Safety
+    /// See [`JobRef::new`]: the caller must not let `self` drop before the
+    /// latch is set, and must enqueue the ref at most once.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        // SAFETY: forwarded contract.
+        unsafe { JobRef::new(self) }
+    }
+
+    /// Takes the result out after the latch has been observed set.
+    ///
+    /// # Safety
+    /// Only the owning frame may call this, exactly once, after
+    /// `self.latch.probe()` returned `true` (the `Acquire` probe pairs
+    /// with the `Release` set that published the write).
+    pub(crate) unsafe fn take_result(&self) -> JobResult<R> {
+        // SAFETY: the executor finished its write before setting the
+        // latch, and nothing else touches the cell afterwards.
+        unsafe { std::mem::replace(&mut *self.result.get(), JobResult::Pending) }
+    }
+}
+
+impl<F, R> Job for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        // SAFETY: `this` is live and executed at most once (JobRef
+        // contract), so taking the closure out of the cell is exclusive.
+        let this = unsafe { &*this };
+        let func = unsafe { (*this.func.get()).take() };
+        let func = func.expect("StackJob executed twice");
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(value) => JobResult::Ok(value),
+            Err(payload) => JobResult::Panic(payload),
+        };
+        // SAFETY: still exclusive — the owner only reads after the latch.
+        unsafe { *this.result.get() = result };
+        // After this point `this` may dangle: the owning frame is free to
+        // return as soon as it observes the latch. `Latch::set` is written
+        // to touch only registry memory after its own Release store.
+        this.latch.set();
+    }
+}

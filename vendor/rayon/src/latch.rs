@@ -1,0 +1,51 @@
+//! The completion latch a `join`/`install` caller waits on.
+//!
+//! A [`Latch`] is a one-shot gate: the executor of a stolen job sets it
+//! once (after publishing the job's result), and the owner probes it.
+//! The flag itself lives in the job's stack frame; everything needed to
+//! *wake* sleepers lives in the [`Registry`](crate::registry::Registry),
+//! which the latch keeps alive through an `Arc`. `set` clones that `Arc`
+//! **before** the `Release` store — the instant the store lands, the
+//! waiting frame may return and pop the latch's memory, so the setter
+//! must not touch `self` afterwards.
+
+use crate::registry::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One-shot completion gate for a queued job.
+pub(crate) struct Latch {
+    /// Completion gate: `Release` store in [`Latch::set`] pairs with the
+    /// `Acquire` load in [`Latch::probe`], publishing the job result
+    /// written just before the set.
+    set: AtomicBool,
+    registry: Arc<Registry>,
+}
+
+impl Latch {
+    pub(crate) fn new(registry: Arc<Registry>) -> Latch {
+        Latch {
+            set: AtomicBool::new(false),
+            registry,
+        }
+    }
+
+    /// Whether the latch has been set. `Acquire`: a `true` observation
+    /// also makes the job's result write visible.
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Sets the latch and wakes any sleeping threads.
+    ///
+    /// Called by whichever thread executed the job, exactly once. `self`
+    /// may be deallocated by the owner the moment the store is visible,
+    /// so the registry handle is cloned out first and the wakeup goes
+    /// through that clone only.
+    pub(crate) fn set(&self) {
+        let registry = Arc::clone(&self.registry);
+        self.set.store(true, Ordering::Release);
+        // `self` must not be used beyond this point.
+        registry.notify_event();
+    }
+}

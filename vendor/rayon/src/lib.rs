@@ -1,21 +1,56 @@
 //! Offline std-only stand-in for the `rayon` crate (see vendor/README.md).
 //!
-//! Implements the tiny slice of rayon's API this workspace uses — the
-//! fork-join primitive [`join`] and [`current_num_threads`] — on plain
-//! `std::thread::scope`. Unlike real rayon there is no work-stealing pool:
-//! every `join` spawns one OS thread for its second closure. Callers are
-//! expected to control task granularity themselves (recurse down to a
-//! grain size), which the in-tree users do, so the missing pool only costs
-//! a few microseconds of spawn overhead per task.
+//! Implements the slice of rayon's API this workspace uses — the
+//! fork-join primitive [`join`], [`current_num_threads`], and explicit
+//! [`ThreadPool`]s — on a real work-stealing pool:
 //!
-//! The API shapes mirror real rayon exactly, so restoring the real crate
-//! in `[workspace.dependencies]` requires no source changes elsewhere.
+//! - a lazily-initialized global registry of `available_parallelism`
+//!   workers (override with the `APC_THREADS` env var), spawned on the
+//!   first piece of parallel work;
+//! - per-worker LIFO deques plus a shared injector, each behind its own
+//!   `Mutex` (a lock-per-deque design rather than lock-free Chase-Lev:
+//!   the in-tree callers split work down to coarse grains, so queue
+//!   operations are rare and the simpler protocol is easy to prove);
+//! - [`join`] runs its first closure inline and exposes the second for
+//!   stealing, reclaiming it when no thief took it; a caller waiting for
+//!   a stolen job steals other work meanwhile, so nested joins cannot
+//!   deadlock a bounded pool;
+//! - idle workers park on a `Condvar` event gate and are woken by
+//!   pushes;
+//! - panics in either closure propagate to the `join` caller, like real
+//!   rayon.
+//!
+//! The API shapes mirror real rayon, so restoring the real crate in
+//! `[workspace.dependencies]` requires no source changes elsewhere.
+//! ([`ThreadPool::shutdown`] is a stub-only extra — real rayon shuts a
+//! pool down on drop, which this crate also does.)
+//!
+//! Unlike every other crate in this workspace the pool uses `unsafe`
+//! (confined to `job.rs` plus the `execute`/erasure call sites): `join`
+//! hands a borrowed closure to another thread, which fundamentally
+//! requires lifetime erasure, exactly as in rayon-core. The soundness
+//! protocol is documented in [`job`]'s module docs; the flag atomics
+//! follow the workspace L12 rule (Acquire/Release on gates) and the
+//! vendored pool is included in that lint's scope.
 
-#![forbid(unsafe_code)]
+mod job;
+mod latch;
+mod registry;
+
+use job::{JobResult, StackJob};
+use latch::Latch;
+use registry::Registry;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Runs `oper_a` and `oper_b` potentially in parallel and returns both
 /// results. Panics from either closure propagate to the caller, like real
 /// rayon's `join`.
+///
+/// `oper_a` runs inline on the calling thread; `oper_b` is published for
+/// stealing (to this thread's own deque when it is a pool worker, to the
+/// global pool's injector otherwise) and reclaimed inline if no other
+/// thread took it.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -23,29 +58,217 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let handle_b = s.spawn(oper_b);
-        let ra = oper_a();
-        let rb = match handle_b.join() {
-            Ok(rb) => rb,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        (ra, rb)
-    })
+    let (reg, worker) = match registry::current_ctx() {
+        Some((reg, index)) => (reg, Some(index)),
+        None => (registry::global_registry(), None),
+    };
+    join_in(&reg, worker, oper_a, oper_b)
 }
 
-/// Number of threads the "pool" would use — the machine's available
-/// parallelism (real rayon reports its global pool size, which defaults to
-/// the same number).
+/// [`join`] against an explicit registry/worker slot.
+fn join_in<A, B, RA, RB>(reg: &Arc<Registry>, worker: Option<usize>, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(oper_b, Latch::new(Arc::clone(reg)));
+    // SAFETY: `job_b` stays alive in this frame until its latch is
+    // observed set below, and the ref is enqueued exactly once.
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    let id = job_b_ref.id();
+    reg.push(worker, job_b_ref);
+
+    // Run the first closure inline. A panic here must still wait for the
+    // (possibly stolen) second job before unwinding past its stack slot.
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    if let Some(job) = reg.take_by_id(worker, id) {
+        // No thief took it — run the second closure inline too.
+        // SAFETY: reclaimed exclusively; pointee is this frame's own job.
+        unsafe { job.execute() };
+    } else if worker.is_some() {
+        reg.wait_until(&job_b.latch, worker);
+    } else {
+        reg.wait_until_external(&job_b.latch);
+    }
+    debug_assert!(job_b.latch.probe(), "join resumed before its job finished");
+    // SAFETY: the latch was observed set, so the result is published and
+    // this (owning) frame holds the only reference.
+    let result_b = unsafe { job_b.take_result() };
+
+    match result_a {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(ra) => match result_b {
+            JobResult::Ok(rb) => (ra, rb),
+            JobResult::Panic(payload) => panic::resume_unwind(payload),
+            JobResult::Pending => unreachable!("latch set without a job result"),
+        },
+    }
+}
+
+/// Number of threads in the current thread's pool: the enclosing
+/// [`ThreadPool`]'s size on a worker thread, the global pool's size
+/// otherwise (querying does not spawn the global pool).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    match registry::current_ctx() {
+        Some((reg, _)) => reg.num_threads(),
+        None => registry::global_thread_count(),
+    }
+}
+
+/// Builder for an explicit, locally-owned [`ThreadPool`] (mirrors
+/// rayon's builder surface for the options this workspace uses).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (`num_threads` = the global
+    /// pool's configured size).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; `0` means the global default.
+    pub fn num_threads(mut self, num_threads: usize) -> ThreadPoolBuilder {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Spawns the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            registry::global_thread_count()
+        } else {
+            self.num_threads
+        };
+        let (registry, handles) = Registry::spawn(n);
+        Ok(ThreadPool { registry, handles })
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. Pool construction in this
+/// stand-in only fails by panicking on thread-spawn failure, but the
+/// `Result` shape mirrors real rayon so call sites stay portable.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// An explicitly-owned worker pool, independent of the global one.
+///
+/// Used by tests that need a deterministic worker count regardless of
+/// host cores or `APC_THREADS`, and shut down (joining its threads) on
+/// [`ThreadPool::shutdown`] or drop so `cargo test`'s own concurrency
+/// never observes leaked workers.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Runs `op` inside the pool and returns its result; `join`s (and
+    /// everything built on them, like `apc_bignum::par`) reached from
+    /// `op` use this pool's workers. The calling thread blocks without
+    /// executing pool work, so `op` runs entirely on the pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some((reg, _)) = registry::current_ctx() {
+            if Arc::ptr_eq(&reg, &self.registry) {
+                // Already on one of our workers: run directly.
+                return op();
+            }
+        }
+        let job = StackJob::new(op, Latch::new(Arc::clone(&self.registry)));
+        // SAFETY: `job` outlives the wait below; enqueued exactly once.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.registry.push(None, job_ref);
+        self.registry.wait_until_external(&job.latch);
+        // SAFETY: latch observed set; result published and exclusive.
+        match unsafe { job.take_result() } {
+            JobResult::Ok(value) => value,
+            JobResult::Panic(payload) => panic::resume_unwind(payload),
+            JobResult::Pending => unreachable!("latch set without a job result"),
+        }
+    }
+
+    /// Terminates the pool: workers drain the queues, observe the
+    /// shutdown gate, and are joined. Equivalent to dropping the pool,
+    /// but explicit at test call sites.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.num_threads())
+            .finish()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
+    use std::time::{Duration, Instant};
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("build test pool")
+    }
+
+    /// Spins (yielding) until `cond` holds or ~5 s pass; returns whether
+    /// the condition was met. Keeps rendezvous tests hang-free.
+    fn spin_until(cond: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
 
     #[test]
     fn join_returns_both_results_in_order() {
@@ -70,5 +293,105 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_reports_its_size_inside_install() {
+        let pool = pool(3);
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3, "worker context must report the local pool size");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn tasks_run_on_multiple_threads() {
+        // Two rendezvousing closures: each records its thread and waits
+        // for the other to start, which can only complete when a thief on
+        // a *different* thread picked up the queued half.
+        let pool = pool(4);
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let started = AtomicUsize::new(0);
+        let task = |ids: &Mutex<HashSet<ThreadId>>, started: &AtomicUsize| {
+            ids.lock().expect("ids lock").insert(std::thread::current().id());
+            started.fetch_add(1, Ordering::SeqCst);
+            assert!(
+                spin_until(|| started.load(Ordering::SeqCst) >= 2),
+                "second task never started — no stealing happened"
+            );
+        };
+        pool.install(|| join(|| task(&ids, &started), || task(&ids, &started)));
+        let distinct = ids.lock().expect("ids lock").len();
+        assert!(distinct > 1, "both rendezvoused tasks ran on one thread");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panic_in_stolen_closure_propagates_to_join_caller() {
+        let pool = pool(2);
+        let b_started = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                join(
+                    || {
+                        // Hold this worker until the other closure has
+                        // demonstrably been stolen and started elsewhere.
+                        assert!(spin_until(|| b_started.load(Ordering::SeqCst) == 1));
+                    },
+                    || {
+                        b_started.fetch_add(1, Ordering::SeqCst);
+                        panic!("boom in stolen closure");
+                    },
+                )
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate through join + install");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| payload.downcast_ref::<String>().map(String::as_str).unwrap_or(""));
+        assert!(msg.contains("boom"), "original payload is preserved: {msg:?}");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn nested_join_inside_workers_does_not_deadlock() {
+        // A full binary join tree of depth 10 (1024 leaves) on 4 workers:
+        // every level forks from inside a worker, so completion proves
+        // the steal-while-waiting path instead of thread-per-join.
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 4 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        let pool = pool(4);
+        let total = pool.install(|| sum(0, 1024));
+        assert_eq!(total, 1024 * 1023 / 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_all_workers() {
+        let pool = pool(4);
+        let done = AtomicUsize::new(0);
+        pool.install(|| {
+            join(|| done.fetch_add(1, Ordering::SeqCst), || done.fetch_add(1, Ordering::SeqCst));
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+        // Must return (joining the four workers), not hang or leak.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn install_runs_work_on_pool_workers() {
+        let pool = pool(2);
+        let caller = std::thread::current().id();
+        let inside = pool.install(|| std::thread::current().id());
+        assert_ne!(inside, caller, "install must run on a pool worker");
+        pool.shutdown();
     }
 }

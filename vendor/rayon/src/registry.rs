@@ -1,0 +1,307 @@
+//! The worker registry: deques, stealing, parking, and the global pool.
+//!
+//! Layout mirrors rayon-core at a much smaller scale:
+//!
+//! - one double-ended queue per worker, guarded by its own `Mutex` —
+//!   the owner pushes and pops at the **back** (LIFO, keeps the working
+//!   set cache-hot and makes `join` pop back exactly the job it pushed),
+//!   thieves steal from the **front** (FIFO, takes the oldest/biggest
+//!   pending subtree);
+//! - a shared **injector** queue for jobs arriving from threads outside
+//!   the pool;
+//! - a `Mutex`+`Condvar` **sleep** gate with an event counter: every
+//!   push and every latch set bumps the counter and notifies, so an idle
+//!   worker can park without lost-wakeup races (it snapshots the counter
+//!   *before* scanning for work and only sleeps while the counter is
+//!   unchanged).
+//!
+//! Steal order for worker *i*: own deque back → injector front → deques
+//! `i+1, i+2, …` front (round-robin). A thread waiting on a latch keeps
+//! stealing by the same order instead of blocking, which is what lets
+//! nested `join`s run to completion on a bounded pool without deadlock.
+
+use crate::job::JobRef;
+use crate::latch::Latch;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Fallback park interval: waiters also wake on this timer, so even a
+/// (hypothetical) missed notification cannot strand a thread for good.
+const PARK_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Locks `m`, recovering the guard from a poisoned mutex. Jobs run under
+/// `catch_unwind`, so a poisoned queue can only arise from a panic in the
+/// pool machinery itself; the queue contents remain structurally valid.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sleep gate shared by all threads that touch one registry.
+struct Sleep {
+    /// Event counter: bumped on every push / latch set / termination.
+    events: Mutex<u64>,
+    cond: Condvar,
+}
+
+/// One pool instance: worker deques + injector + sleep machinery.
+pub(crate) struct Registry {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Sleep,
+    /// Shutdown gate (local pools only; the global pool lives for the
+    /// process). Release store in [`Registry::terminate`] pairs with the
+    /// Acquire load in [`Registry::terminated`] so exiting workers also
+    /// observe everything published before the shutdown request.
+    terminate: AtomicBool,
+}
+
+impl Registry {
+    /// Builds a registry with `n_threads` workers and spawns them.
+    /// Returns the join handles so local pools can shut down cleanly;
+    /// the global pool drops them (workers live until process exit).
+    pub(crate) fn spawn(
+        n_threads: usize,
+    ) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let n = n_threads.max(1);
+        let registry = Arc::new(Registry {
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Sleep {
+                events: Mutex::new(0),
+                cond: Condvar::new(),
+            },
+            terminate: AtomicBool::new(false),
+        });
+        let handles = (0..n)
+            .map(|index| {
+                let reg = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("apc-rayon-{index}"))
+                    .spawn(move || worker_main(reg, index))
+                    .expect("spawn rayon worker thread")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    /// Number of worker threads in this registry.
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    // --- queues -------------------------------------------------------
+
+    /// Enqueues `job`: onto worker `w`'s own deque back when called from
+    /// worker `w`, onto the shared injector otherwise; then wakes
+    /// sleepers.
+    pub(crate) fn push(&self, worker: Option<usize>, job: JobRef) {
+        match worker {
+            Some(w) => lock(&self.deques[w]).push_back(job),
+            None => lock(&self.injector).push_back(job),
+        }
+        self.notify_event();
+    }
+
+    /// Attempts to reclaim a still-unstolen job by identity from the
+    /// queue it was pushed to. Used by `join` to run its second closure
+    /// inline when no thief took it.
+    pub(crate) fn take_by_id(&self, worker: Option<usize>, id: *const ()) -> Option<JobRef> {
+        let mut queue = match worker {
+            Some(w) => lock(&self.deques[w]),
+            None => lock(&self.injector),
+        };
+        let pos = queue.iter().position(|j| j.id() == id)?;
+        queue.remove(pos)
+    }
+
+    /// Claims one job: own deque back (LIFO) first for workers, then the
+    /// injector front, then the other deques' fronts round-robin.
+    fn find_job(&self, thief: Option<usize>) -> Option<JobRef> {
+        if let Some(w) = thief {
+            if let Some(job) = lock(&self.deques[w]).pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = lock(&self.injector).pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = thief.map_or(0, |w| w + 1);
+        for k in 0..n {
+            let i = (start + k) % n;
+            if Some(i) == thief {
+                continue;
+            }
+            if let Some(job) = lock(&self.deques[i]).pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    // --- sleeping -----------------------------------------------------
+
+    /// Bumps the event counter and wakes every sleeper. Called after any
+    /// state change a sleeper might be waiting for (push, latch set,
+    /// termination).
+    pub(crate) fn notify_event(&self) {
+        {
+            let mut events = lock(&self.sleep.events);
+            *events = events.wrapping_add(1);
+        }
+        self.sleep.cond.notify_all();
+    }
+
+    /// Current event count; snapshot *before* scanning for work so a
+    /// concurrent push cannot be missed across the scan/park gap.
+    fn event_snapshot(&self) -> u64 {
+        *lock(&self.sleep.events)
+    }
+
+    /// Parks until the event counter moves past `snapshot` (or the
+    /// fallback timer fires, or the registry terminates).
+    fn park(&self, snapshot: u64) {
+        let mut events = lock(&self.sleep.events);
+        while *events == snapshot && !self.terminated() {
+            let (guard, timeout) = self
+                .sleep
+                .cond
+                .wait_timeout(events, PARK_TIMEOUT)
+                .unwrap_or_else(PoisonError::into_inner);
+            events = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+    }
+
+    // --- waiting on latches -------------------------------------------
+
+    /// Work-stealing wait: executes other pool jobs until `latch` sets.
+    /// Used by workers (and the worker-path `join`) so a blocked frame
+    /// still drives the pool forward — the no-deadlock argument for
+    /// nested `join` on a bounded pool.
+    pub(crate) fn wait_until(&self, latch: &Latch, thief: Option<usize>) {
+        while !latch.probe() {
+            let snapshot = self.event_snapshot();
+            if let Some(job) = self.find_job(thief) {
+                // SAFETY: claimed exclusively from a queue; pointee alive
+                // per the latch-before-return protocol.
+                unsafe { job.execute() };
+                continue;
+            }
+            if latch.probe() {
+                return;
+            }
+            self.park(snapshot);
+        }
+    }
+
+    /// Blocking wait for threads outside the pool (`install`, external
+    /// `join`): sleeps on the event gate without executing pool jobs, so
+    /// installed work runs entirely on pool workers.
+    pub(crate) fn wait_until_external(&self, latch: &Latch) {
+        while !latch.probe() {
+            let snapshot = self.event_snapshot();
+            if latch.probe() {
+                return;
+            }
+            self.park(snapshot);
+        }
+    }
+
+    // --- shutdown -----------------------------------------------------
+
+    /// Requests worker exit (after the queues drain) and wakes sleepers.
+    pub(crate) fn terminate(&self) {
+        self.terminate.store(true, Ordering::Release);
+        self.notify_event();
+    }
+
+    fn terminated(&self) -> bool {
+        self.terminate.load(Ordering::Acquire)
+    }
+}
+
+/// Worker thread body: claim work, run it, park when idle, exit when the
+/// registry terminates and the queues are dry.
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|ctx| {
+        *ctx.borrow_mut() = Some(WorkerCtx {
+            registry: Arc::clone(&registry),
+            index,
+        });
+    });
+    loop {
+        let snapshot = registry.event_snapshot();
+        if let Some(job) = registry.find_job(Some(index)) {
+            // SAFETY: claimed exclusively from a queue; pointee alive per
+            // the latch-before-return protocol. Panics are contained by
+            // the job's own catch_unwind, so the worker never unwinds.
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.terminated() {
+            break;
+        }
+        registry.park(snapshot);
+    }
+    WORKER.with(|ctx| ctx.borrow_mut().take());
+}
+
+/// Which registry (and worker slot) the current thread belongs to.
+struct WorkerCtx {
+    registry: Arc<Registry>,
+    index: usize,
+}
+
+thread_local! {
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+/// The current thread's registry and worker index, if it is a pool
+/// worker.
+pub(crate) fn current_ctx() -> Option<(Arc<Registry>, usize)> {
+    WORKER.with(|ctx| {
+        ctx.borrow()
+            .as_ref()
+            .map(|c| (Arc::clone(&c.registry), c.index))
+    })
+}
+
+// --- the global pool --------------------------------------------------
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The process-wide pool, spawned on first use. Its workers are detached
+/// (the process owns them); local [`crate::ThreadPool`]s are the
+/// shutdown-able alternative for tests.
+pub(crate) fn global_registry() -> Arc<Registry> {
+    Arc::clone(GLOBAL.get_or_init(|| {
+        let (registry, handles) = Registry::spawn(global_thread_count());
+        drop(handles);
+        registry
+    }))
+}
+
+/// Worker count for the global pool: the `APC_THREADS` env override
+/// (clamped to 1..=1024) when set and parseable, else
+/// `available_parallelism`. Read once — the pool size never changes
+/// after the first query.
+pub(crate) fn global_thread_count() -> usize {
+    static COUNT: OnceLock<usize> = OnceLock::new();
+    *COUNT.get_or_init(|| {
+        if let Some(n) = std::env::var("APC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            return n.clamp(1, 1024);
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
