@@ -211,11 +211,21 @@ fn main() {
         println!("  {line}");
     }
 
+    // Same honesty contract as bench_json: record what the pool
+    // actually was, so serve numbers from 1-core containers are not
+    // misread as multi-worker results.
+    let parallel_feature = cfg!(feature = "parallel");
+    let pool_threads = apc_bignum::par::pool_threads();
+    let parallel_effective = parallel_feature && pool_threads > 1;
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
     let _ = writeln!(json, "  \"operand_bits\": {OPERAND_BITS},");
     let _ = writeln!(json, "  \"workers\": {WORKERS},");
+    let _ = writeln!(json, "  \"pool_threads\": {pool_threads},");
+    let _ = writeln!(json, "  \"parallel_feature\": {parallel_feature},");
+    let _ = writeln!(json, "  \"parallel_effective\": {parallel_effective},");
     let _ = writeln!(json, "  \"batch_max\": {BATCH_MAX},");
     let _ = writeln!(json, "  \"jobs_per_client\": {JOBS_PER_CLIENT},");
     let _ = writeln!(json, "  \"direct_device_jobs_per_s\": {direct_throughput},");

@@ -1,0 +1,113 @@
+//! Command-line apc-net client: runs one arbitrary-precision job on a
+//! remote server and prints the decimal result.
+//!
+//! ```text
+//! apc_net_client --addr HOST:PORT --token TOKEN mul A B
+//! apc_net_client --addr HOST:PORT --token TOKEN div A B
+//! apc_net_client --addr HOST:PORT --token TOKEN sqrt A
+//! apc_net_client --addr HOST:PORT --token TOKEN modexp BASE EXP MODULUS
+//! ```
+//!
+//! Operands are decimal (or hex with an `0x` prefix).
+
+use apc_bignum::Nat;
+use apc_net::{NetClient, NetClientConfig};
+use apc_serve::{Job, JobOutput};
+use std::process::ExitCode;
+
+fn parse_nat(s: &str) -> Result<Nat, ()> {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => Nat::from_hex_str(hex),
+        None => Nat::from_decimal_str(s),
+    };
+    parsed.map_err(|e| eprintln!("bad operand {s:?}: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let mut addr = None;
+    let mut token = Vec::new();
+    let mut rest: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = Some(v),
+                None => {
+                    eprintln!("missing value for --addr");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--token" => match args.next() {
+                Some(v) => token = v.into_bytes(),
+                None => {
+                    eprintln!("missing value for --token");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => rest.push(arg),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: apc_net_client --addr HOST:PORT --token TOKEN <mul|div|sqrt|modexp> OPERANDS...");
+        return ExitCode::FAILURE;
+    };
+
+    let nat = |i: usize| -> Result<Nat, ()> {
+        match rest.get(i) {
+            Some(s) => parse_nat(s),
+            None => {
+                eprintln!("missing operand {i}");
+                Err(())
+            }
+        }
+    };
+    let job = match rest.first().map(String::as_str) {
+        Some("mul") => match (nat(1), nat(2)) {
+            (Ok(a), Ok(b)) => Job::Mul { a, b },
+            _ => return ExitCode::FAILURE,
+        },
+        Some("div") => match (nat(1), nat(2)) {
+            (Ok(a), Ok(b)) => Job::Div { a, b },
+            _ => return ExitCode::FAILURE,
+        },
+        Some("sqrt") => match nat(1) {
+            Ok(a) => Job::Sqrt { a },
+            _ => return ExitCode::FAILURE,
+        },
+        Some("modexp") => match (nat(1), nat(2), nat(3)) {
+            (Ok(base), Ok(exp), Ok(modulus)) => Job::ModExp { base, exp, modulus },
+            _ => return ExitCode::FAILURE,
+        },
+        _ => {
+            eprintln!("first positional argument must be mul, div, sqrt, or modexp");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = NetClientConfig { token, ..NetClientConfig::default() };
+    let mut client = match NetClient::connect(addr.as_str(), &cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect to {addr} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.request(job) {
+        Ok(JobOutput::Product(p)) => println!("{}", p.to_decimal_string()),
+        Ok(JobOutput::DivRem { quotient, remainder }) => {
+            println!("quotient  {}", quotient.to_decimal_string());
+            println!("remainder {}", remainder.to_decimal_string());
+        }
+        Ok(JobOutput::SqrtRem { root, remainder }) => {
+            println!("root      {}", root.to_decimal_string());
+            println!("remainder {}", remainder.to_decimal_string());
+        }
+        Ok(JobOutput::PowMod(p)) => println!("{}", p.to_decimal_string()),
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,125 @@
+//! Network-layer counters, exported through apc-trace's shared
+//! [`Metric`] list so the `apc_net_*` families render next to the
+//! `apc_serve_*` ones in both Prometheus and JSON form.
+//!
+//! All counters are plain monotonic statistics — none gates control
+//! flow — so `Relaxed` ordering is correct throughout (L12).
+
+use apc_trace::export::Metric;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters for one listener (all connections aggregate here).
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    /// Connections accepted (binary protocol or metrics scrape).
+    pub connections: AtomicU64,
+    /// Protocol frames read from clients (hello + requests).
+    pub frames_in: AtomicU64,
+    /// Protocol frames written to clients (acks + responses).
+    pub frames_out: AtomicU64,
+    /// Frames whose payload failed to decode.
+    pub decode_errors: AtomicU64,
+    /// Hellos whose token matched no configured tenant.
+    pub auth_rejects: AtomicU64,
+    /// Frames rejected by the fail-closed length cap before the body
+    /// was read.
+    pub oversized_frames: AtomicU64,
+    /// Requests the backend rejected at admission (typed
+    /// `SubmitError`, relayed to the client as its wire status).
+    pub admission_rejects: AtomicU64,
+    /// Requests executed and answered with `Ok`.
+    pub jobs_ok: AtomicU64,
+    /// `GET /metrics` scrapes served on the same listener.
+    pub metrics_scrapes: AtomicU64,
+}
+
+/// One count-up step on a statistic counter.
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+impl NetMetrics {
+    /// The listener counters as `apc_net_*` metric families.
+    pub fn export_metrics(&self) -> Vec<Metric> {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        vec![
+            Metric::counter(
+                "apc_net_connections_total",
+                "Connections accepted by the listener",
+                c(&self.connections),
+            ),
+            Metric::counter(
+                "apc_net_frames_in_total",
+                "Protocol frames read from clients",
+                c(&self.frames_in),
+            ),
+            Metric::counter(
+                "apc_net_frames_out_total",
+                "Protocol frames written to clients",
+                c(&self.frames_out),
+            ),
+            Metric::counter(
+                "apc_net_decode_errors_total",
+                "Frames whose payload failed to decode",
+                c(&self.decode_errors),
+            ),
+            Metric::counter(
+                "apc_net_auth_rejects_total",
+                "Hellos whose token matched no tenant",
+                c(&self.auth_rejects),
+            ),
+            Metric::counter(
+                "apc_net_oversized_frames_total",
+                "Frames rejected by the fail-closed length cap",
+                c(&self.oversized_frames),
+            ),
+            Metric::counter(
+                "apc_net_admission_rejects_total",
+                "Requests rejected by backend admission control",
+                c(&self.admission_rejects),
+            ),
+            Metric::counter(
+                "apc_net_jobs_ok_total",
+                "Requests executed and answered Ok",
+                c(&self.jobs_ok),
+            ),
+            Metric::counter(
+                "apc_net_metrics_scrapes_total",
+                "GET /metrics scrapes served",
+                c(&self.metrics_scrapes),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_trace::export::to_prometheus;
+
+    #[test]
+    fn exports_every_counter_under_the_apc_net_prefix() {
+        let m = NetMetrics::default();
+        bump(&m.frames_in);
+        bump(&m.frames_in);
+        bump(&m.auth_rejects);
+        let metrics = m.export_metrics();
+        assert_eq!(metrics.len(), 9);
+        let text = to_prometheus(&metrics);
+        for family in [
+            "apc_net_connections_total",
+            "apc_net_frames_in_total",
+            "apc_net_frames_out_total",
+            "apc_net_decode_errors_total",
+            "apc_net_auth_rejects_total",
+            "apc_net_oversized_frames_total",
+            "apc_net_admission_rejects_total",
+            "apc_net_jobs_ok_total",
+            "apc_net_metrics_scrapes_total",
+        ] {
+            assert!(text.contains(family), "missing family {family}");
+        }
+        assert!(text.contains("apc_net_frames_in_total 2"));
+        assert!(text.contains("apc_net_auth_rejects_total 1"));
+    }
+}

@@ -282,6 +282,13 @@ impl ServeHandle {
         self.inner.queue.depth()
     }
 
+    /// The admission ceiling on operand width, in bits (the largest
+    /// bucket of the submission queue). Front-ends use this to derive
+    /// fail-closed bounds of their own — apc-net caps frame reads by it.
+    pub fn max_operand_bits(&self) -> u64 {
+        self.inner.queue.max_operand_bits()
+    }
+
     /// A copy of the service counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.metrics.snapshot()

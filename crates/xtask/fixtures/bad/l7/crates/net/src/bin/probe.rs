@@ -1,0 +1,10 @@
+//! Binary targets under `crates/net` are *not* L7 scope: a CLI probe
+//! pacing its own retries is operator tooling, not the event-driven
+//! server path. Nothing in this file may be flagged.
+
+fn main() {
+    loop {
+        println!("probing...");
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,35 @@
+//! Sleep-polling traps on the network layer: L7 covers `crates/net`
+//! library paths the same way it covers `crates/serve` — a connection
+//! worker waits on the accept channel or on a socket read timeout,
+//! never on a timer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Shutdown-polling by timer instead of by read timeout: the trap.
+pub fn wait_for_drain(flag: &AtomicBool) {
+    while !flag.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Retry backoff between connect attempts is the same trap.
+pub fn reconnect_backoff() {
+    use std::thread;
+    thread::sleep(Duration::from_millis(100));
+}
+
+/// Justified waits are allowed.
+pub fn linger_before_close() {
+    // apc-lint: allow(L7) -- deliberate FIN linger required by the peer's stack
+    std::thread::sleep(Duration::from_millis(1));
+}
+
+#[cfg(test)]
+mod tests {
+    /// Tests may pace themselves with real sleeps.
+    #[test]
+    fn tests_are_exempt() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,53 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Fixture network file: the clean side of the net-layer rules — a
+//! connection worker that drains without sleeping (L7: the socket read
+//! *timeout* is the poll), recovers poisoned locks (L8), and uses
+//! Acquire/Release on its gate flag with Relaxed only on statistics
+//! (L12).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, PoisonError};
+
+/// Listener state shared with connection workers.
+pub struct Listener {
+    /// Shutdown gate — not a statistic, so Acquire/Release.
+    draining: AtomicBool,
+    /// Frames seen: a statistic counter, Relaxed is right.
+    frames: AtomicU64,
+    /// The accept hand-off queue.
+    queue: Mutex<Vec<u64>>,
+}
+
+impl Listener {
+    /// Begins the drain; workers observe it at their next timeout.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// One statistic tick.
+    pub fn count_frame(&self) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pops queued work, recovering a poisoned queue (single-step
+    /// transitions keep it consistent).
+    pub fn pop(&self) -> Option<u64> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.pop()
+    }
+
+    /// Blocks on the channel — the event itself, never a timer. A
+    /// disconnect or an observed drain gate ends the worker.
+    pub fn worker_loop(&self, rx: &Receiver<u64>) -> u64 {
+        let mut served = 0;
+        while let Ok(conn) = rx.recv() {
+            if self.draining.load(Ordering::Acquire) {
+                return served;
+            }
+            served += conn;
+        }
+        served
+    }
+}

@@ -127,15 +127,19 @@ fn json_escape(s: &str) -> String {
 
 /// Runs the tier-1 sequence — release build, tests, the same pair again
 /// with the `parallel` feature (the work-stealing pool and its dispatch
-/// paths only compile and run under that feature), then in-process lint —
-/// and prints a one-line summary. Stops at the first failing step so the
-/// summary names the culprit.
+/// paths only compile and run under that feature), the network crate's
+/// own unit tests and binaries (its server/client bins are not part of
+/// the root package's build graph), then in-process lint — and prints a
+/// one-line summary. Stops at the first failing step so the summary
+/// names the culprit.
 fn ci() -> ExitCode {
-    let steps: [(&str, &[&str]); 4] = [
+    let steps: [(&str, &[&str]); 6] = [
         ("build", &["build", "--release"]),
         ("test", &["test", "-q"]),
         ("build(parallel)", &["build", "--release", "--features", "parallel"]),
         ("test(parallel)", &["test", "-q", "--features", "parallel"]),
+        ("build(net bins)", &["build", "--release", "-p", "apc-net", "--bins"]),
+        ("test(net)", &["test", "-q", "-p", "apc-net"]),
     ];
     for (name, cargo_args) in steps {
         println!("ci: cargo {}", cargo_args.join(" "));
@@ -156,7 +160,7 @@ fn ci() -> ExitCode {
     let root = xtask::default_workspace_root();
     match xtask::lint_tree(&root) {
         Ok(v) if v.is_empty() => {
-            println!("ci: PASS (build+test, build+test --features parallel, lint)");
+            println!("ci: PASS (build+test, build+test --features parallel, net bins+tests, lint)");
             ExitCode::SUCCESS
         }
         Ok(v) => {
