@@ -124,6 +124,96 @@ pub fn bit_split(index: u64) -> (usize, u32) {
     (limb, bit)
 }
 
+/// A mask of the low `width` bits (`width ≤ 64`; the full-word mask at 64).
+///
+/// Kernel paths use this instead of a bare `(1 << width) - 1`, which is
+/// undefined at `width == 64`.
+///
+/// ```
+/// use apc_bignum::limb::low_mask;
+/// assert_eq!(low_mask(0), 0);
+/// assert_eq!(low_mask(4), 0xF);
+/// assert_eq!(low_mask(64), u64::MAX);
+/// ```
+#[inline]
+pub fn low_mask(width: u32) -> Limb {
+    debug_assert!(width <= LIMB_BITS, "mask width exceeds a limb");
+    if width >= LIMB_BITS {
+        Limb::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+/// Reads the `width`-bit field starting at bit `offset` of a little-endian
+/// limb slice (`width ≤ 64`; bits beyond the slice read as zero).
+///
+/// This is the word-granular counterpart of `bit_split` + single-bit reads:
+/// one call extracts up to 64 consecutive bits, straddling a limb boundary
+/// when needed. Kernel paths use it instead of open-coded shift/or chains
+/// (apc-lint L11): the boundary straddle is exactly where a bare `<<`
+/// silently drops bits.
+///
+/// ```
+/// use apc_bignum::limb::extract_bits;
+/// let limbs = [0xAABB_CCDD_EEFF_1122u64, 0x3344];
+/// assert_eq!(extract_bits(&limbs, 0, 16), 0x1122);
+/// assert_eq!(extract_bits(&limbs, 56, 16), 0x44AA);
+/// assert_eq!(extract_bits(&limbs, 128, 16), 0);
+/// ```
+#[inline]
+pub fn extract_bits(limbs: &[Limb], offset: u64, width: u32) -> Limb {
+    debug_assert!(width <= LIMB_BITS, "extraction wider than a limb");
+    let (word, bit) = bit_split(offset);
+    let lo = limbs.get(word).copied().unwrap_or(0) >> bit;
+    let hi = if bit == 0 {
+        0
+    } else {
+        // Low `bit` bits of the next limb fill the top of the window.
+        limbs.get(word + 1).copied().unwrap_or(0) << (LIMB_BITS - bit)
+    };
+    (lo | hi) & low_mask(width)
+}
+
+/// Splits a double-limb value into `(low, high)` limbs.
+///
+/// The inverse of the `(low, high)` convention `mul_wide` returns; sliced
+/// kernel paths use it to land a `u128` accumulator back into limb
+/// storage without bare narrowing casts (apc-lint L3).
+///
+/// ```
+/// use apc_bignum::limb::wide_parts;
+/// assert_eq!(wide_parts((1u128 << 64) + 7), (7, 1));
+/// ```
+#[inline]
+pub fn wide_parts(x: u128) -> (Limb, Limb) {
+    (x as Limb, (x >> LIMB_BITS) as Limb)
+}
+
+/// Splits `x · 2^shift` (`shift < 64`) into three little-endian limbs.
+///
+/// The sliced Gather Unit accumulates double-limb partial sums at bit
+/// offsets that are not limb-aligned; this helper performs the 3-limb
+/// shift so the kernel's carry chain stays in `adc` form.
+///
+/// ```
+/// use apc_bignum::limb::wide_shl_parts;
+/// assert_eq!(wide_shl_parts(1, 0), (1, 0, 0));
+/// assert_eq!(wide_shl_parts(u128::MAX, 8), (!0xFF, u64::MAX, 0xFF));
+/// ```
+#[inline]
+pub fn wide_shl_parts(x: u128, shift: u32) -> (Limb, Limb, Limb) {
+    debug_assert!(shift < LIMB_BITS, "shift must stay within one limb");
+    let (lo, hi) = wide_parts(x);
+    if shift == 0 {
+        (lo, hi, 0)
+    } else {
+        let (w0, c0) = shl_step(lo, shift, 0);
+        let (w1, c1) = shl_step(hi, shift, c0);
+        (w0, w1, c1)
+    }
+}
+
 /// Converts a `u64` count to `usize`, saturating on 16/32-bit targets.
 ///
 /// Kernel paths use this instead of a bare `as usize` cast (apc-lint L3):
@@ -185,5 +275,62 @@ mod tests {
         assert_eq!(bit_len(0), 0);
         assert_eq!(bit_len(1), 1);
         assert_eq!(bit_len(u64::MAX), 64);
+    }
+
+    #[test]
+    fn low_mask_bounds() {
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(63), u64::MAX >> 1);
+        assert_eq!(low_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn extract_bits_straddles_boundaries() {
+        let limbs = [u64::MAX, 0, u64::MAX];
+        // Window straddling limbs 0 and 1: ones below the boundary only.
+        assert_eq!(extract_bits(&limbs, 32, 64), u64::MAX >> 32);
+        // Window straddling limbs 1 and 2: ones above the boundary only.
+        assert_eq!(extract_bits(&limbs, 96, 64), u64::MAX << 32);
+        // Aligned full-word reads.
+        assert_eq!(extract_bits(&limbs, 64, 64), 0);
+        // Beyond the slice is zero.
+        assert_eq!(extract_bits(&limbs, 192, 64), 0);
+    }
+
+    #[test]
+    fn extract_bits_matches_shift_reference() {
+        let limbs = [0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210];
+        let value = (u128::from(limbs[1]) << 64) | u128::from(limbs[0]);
+        for offset in 0..120u64 {
+            for width in [1u32, 7, 32, 33, 64] {
+                let expect = ((value >> offset) as u64) & low_mask(width);
+                assert_eq!(
+                    extract_bits(&limbs, offset, width),
+                    expect,
+                    "offset={offset} width={width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_parts_roundtrip() {
+        let x = 0xDEAD_BEEF_0123_4567_89AB_CDEF_FEDC_BA98u128;
+        let (lo, hi) = wide_parts(x);
+        assert_eq!((u128::from(hi) << 64) | u128::from(lo), x);
+    }
+
+    #[test]
+    fn wide_shl_parts_matches_wide_shift() {
+        let x = 0xF0E1_D2C3_B4A5_9687_7869_5A4B_3C2D_1E0Fu128;
+        for shift in 0..64u32 {
+            let (w0, w1, w2) = wide_shl_parts(x, shift);
+            // Reassemble in u128 pieces: low 128 bits plus the overflow limb.
+            let low = x << shift; // wrapping by construction of the check below
+            assert_eq!(w0, low as u64, "shift={shift}");
+            assert_eq!(w1, (low >> 64) as u64, "shift={shift}");
+            let expect_hi = if shift == 0 { 0 } else { (x >> (128 - shift)) as u64 };
+            assert_eq!(w2, expect_hi, "shift={shift}");
+        }
     }
 }

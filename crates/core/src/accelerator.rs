@@ -9,15 +9,101 @@
 
 use crate::bops::BopsTally;
 use crate::config::ArchConfig;
-use crate::pe::pe_pass;
+use crate::pe::{pe_pass, pe_pass_sliced};
 use crate::stats::StageCycles;
-use crate::transform::{reversed_x_slice, to_limb_vector};
+use crate::transform::{reversed_x_slice, reversed_x_words, to_limb_vector, to_limb_words};
+use apc_bignum::limb::{Limb, LIMB_BITS};
 use apc_bignum::Nat;
+use std::sync::OnceLock;
+
+/// Which host implementation executes the Fig. 9a bitflow stages.
+///
+/// Both backends model the *same* machine: the modeled schedule, cycle
+/// counts, [`StageCycles`] attribution and [`BopsTally`] are
+/// bit-identical — only the host arithmetic that evaluates each PE pass
+/// differs. `Scalar` is the per-limb big-integer oracle the paper's
+/// dataflow (§IV-B, Fig. 9) was first validated against; `Sliced64`
+/// packs 64 bitflow steps into each 64-bit word op (indicator-word IPU
+/// selection, word-at-a-time Converter reuse-tree adds, sliced GU carry
+/// resolution) and is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelBackend {
+    /// Per-limb big-integer kernels — the validation oracle (§IV-B).
+    Scalar,
+    /// Word-parallel kernels: 64 bitflow steps per host op (§IV-B BIPS
+    /// arithmetic restated over whole index words).
+    #[default]
+    Sliced64,
+}
+
+impl KernelBackend {
+    /// The backend selected by the `APC_KERNEL_BACKEND` environment
+    /// variable (`scalar` or `sliced64`, case-insensitive; anything else —
+    /// including unset — selects the default [`KernelBackend::Sliced64`]).
+    /// The lookup is cached for the life of the process so every
+    /// [`Accelerator::new`] in a run evaluates the same Fig. 9a machine
+    /// with the same host kernels.
+    pub fn from_env() -> KernelBackend {
+        static BACKEND: OnceLock<KernelBackend> = OnceLock::new();
+        *BACKEND.get_or_init(|| {
+            match std::env::var("APC_KERNEL_BACKEND")
+                .map(|v| v.to_ascii_lowercase())
+                .as_deref()
+            {
+                Ok("scalar") => KernelBackend::Scalar,
+                _ => KernelBackend::Sliced64,
+            }
+        })
+    }
+
+    /// Short stable name (`scalar` / `sliced64`) for the §VII reports and
+    /// traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Sliced64 => "sliced64",
+        }
+    }
+
+    /// Whether this backend can execute the given Fig. 9a configuration
+    /// exactly.
+    ///
+    /// `Scalar` supports everything. `Sliced64` requires the sliced
+    /// support envelope: `q ≤ 16` (pattern table addressability, as in
+    /// [`crate::converter::generate_patterns`]), `L + ⌈log₂ q⌉ ≤ 64` so
+    /// every subset-sum pattern fits one word, and `2L + ⌈log₂ q⌉ ≤ 127`
+    /// so a whole IPU partial sum fits the 128-bit MAC accumulator.
+    /// Outside the envelope the dispatch falls back to `Scalar`.
+    pub fn supports(self, config: &ArchConfig) -> bool {
+        match self {
+            KernelBackend::Scalar => true,
+            KernelBackend::Sliced64 => {
+                let l = u64::from(config.limb_bits);
+                let growth = u64::from(config.q.max(1).next_power_of_two().trailing_zeros());
+                config.q >= 1
+                    && config.q <= 16
+                    && config.limb_bits >= 1
+                    && config.limb_bits <= LIMB_BITS
+                    && l + growth <= u64::from(LIMB_BITS)
+                    && 2 * l + growth <= 127
+            }
+        }
+    }
+}
 
 /// A Cambricon-P device instance (structural model of Fig. 9a).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Accelerator {
     config: ArchConfig,
+    backend: KernelBackend,
+}
+
+impl Default for Accelerator {
+    /// The §VII default configuration on the environment-selected
+    /// [`KernelBackend`].
+    fn default() -> Self {
+        Accelerator::new(ArchConfig::default())
+    }
 }
 
 /// Outcome of a structural run through the Fig. 9a pipeline.
@@ -54,9 +140,19 @@ impl RunOutcome {
 }
 
 impl Accelerator {
-    /// A device with the given configuration (Fig. 9a organization).
+    /// A device with the given configuration (Fig. 9a organization), on
+    /// the [`KernelBackend`] chosen by `APC_KERNEL_BACKEND` (default
+    /// Sliced64).
     pub fn new(config: ArchConfig) -> Self {
-        Accelerator { config }
+        Accelerator::with_backend(config, KernelBackend::from_env())
+    }
+
+    /// A device with the given configuration on an explicit
+    /// [`KernelBackend`] — how the oracle cross-checks (Sliced64 against
+    /// Scalar, §IV-B validation) pin both paths regardless of the
+    /// environment.
+    pub fn with_backend(config: ArchConfig, backend: KernelBackend) -> Self {
+        Accelerator { config, backend }
     }
 
     /// A device with the paper's default §VII configuration.
@@ -67,6 +163,23 @@ impl Accelerator {
     /// The §VII configuration in use.
     pub fn config(&self) -> &ArchConfig {
         &self.config
+    }
+
+    /// The requested [`KernelBackend`] for the Fig. 9a structural kernels
+    /// (before any unsupported-envelope fallback to Scalar).
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
+    }
+
+    /// The [`KernelBackend`] that actually executes this device's Fig. 9a
+    /// PE passes: the requested backend, or Scalar when the configuration
+    /// is outside the requested backend's support envelope.
+    pub fn effective_backend(&self) -> KernelBackend {
+        if self.backend.supports(&self.config) {
+            self.backend
+        } else {
+            KernelBackend::Scalar
+        }
     }
 
     /// Multiplies two naturals through the full bitflow pipeline
@@ -129,32 +242,61 @@ impl Accelerator {
         // Every PE(b, w) pass reads only its own block/window slices, so
         // the whole grid is computed first — across threads when
         // requested — and folded afterwards. Task i is (w, b) in the same
-        // row-major order the sequential loops used.
-        let run_pass = |i: usize| -> Option<(Nat, BopsTally)> {
-            let (w, b) = (i / blocks, i % blocks);
-            let block: Vec<Nat> = (0..q)
-                .map(|j| xs.get(b * q + j).cloned().unwrap_or_else(Nat::zero))
-                .collect();
-            // IPU k serves output position t = w·N_IPU + k with the
-            // reversed y-slice (y_{t−qb}, …, y_{t−qb−q+1}).
-            let ys_per_ipu: Vec<Vec<Nat>> = (0..n_ipu)
-                .map(|k| {
+        // row-major order the sequential loops used. Both backends apply
+        // the *same* zero-block skip predicate (the word views mirror the
+        // Nat limb views value for value), so pass counts, stage
+        // attribution and cycle totals cannot diverge between them.
+        let passes = if self.effective_backend() == KernelBackend::Sliced64 {
+            let xw = to_limb_words(x, l);
+            let yw = to_limb_words(y, l);
+            debug_assert_eq!(xw.len(), xs.len());
+            debug_assert_eq!(yw.len(), ys.len());
+            let run_pass = |i: usize| -> Option<(Nat, BopsTally)> {
+                let (w, b) = (i / blocks, i % blocks);
+                let block: Vec<Limb> = (0..q)
+                    .map(|j| xw.get(b * q + j).copied().unwrap_or(0))
+                    .collect();
+                // IPU k serves output position t = w·N_IPU + k with the
+                // reversed y-slice, flattened k-major for the sliced pass.
+                let mut ys_flat: Vec<Limb> = Vec::with_capacity(n_ipu * q);
+                for k in 0..n_ipu {
                     let t = w * n_ipu + k;
-                    reversed_x_slice(&ys, t, b * q, q)
-                })
-                .collect();
-            // Skip pattern blocks that cannot contribute to the window.
-            if block.iter().all(Nat::is_zero)
-                || ys_per_ipu.iter().all(|v| v.iter().all(Nat::is_zero))
-            {
-                return None;
-            }
-            let pe = pe_pass(&block, &ys_per_ipu, l)
-                // apc-lint: allow(L2) -- q <= 16 (ArchConfig) and every limb <= L bits (to_limb_vector), so the PE preconditions hold by construction
-                .expect("PE pass preconditions hold by construction");
-            Some((pe.gathered, pe.tally))
+                    ys_flat.extend(reversed_x_words(&yw, t, b * q, q));
+                }
+                // Skip pattern blocks that cannot contribute to the window.
+                if block.iter().all(|&v| v == 0) || ys_flat.iter().all(|&v| v == 0) {
+                    return None;
+                }
+                Some(pe_pass_sliced(&block, &ys_flat, l))
+            };
+            apc_bignum::par::map_indexed(windows * blocks, parallel, &run_pass)
+        } else {
+            let run_pass = |i: usize| -> Option<(Nat, BopsTally)> {
+                let (w, b) = (i / blocks, i % blocks);
+                let block: Vec<Nat> = (0..q)
+                    .map(|j| xs.get(b * q + j).cloned().unwrap_or_else(Nat::zero))
+                    .collect();
+                // IPU k serves output position t = w·N_IPU + k with the
+                // reversed y-slice (y_{t−qb}, …, y_{t−qb−q+1}).
+                let ys_per_ipu: Vec<Vec<Nat>> = (0..n_ipu)
+                    .map(|k| {
+                        let t = w * n_ipu + k;
+                        reversed_x_slice(&ys, t, b * q, q)
+                    })
+                    .collect();
+                // Skip pattern blocks that cannot contribute to the window.
+                if block.iter().all(Nat::is_zero)
+                    || ys_per_ipu.iter().all(|v| v.iter().all(Nat::is_zero))
+                {
+                    return None;
+                }
+                let pe = pe_pass(&block, &ys_per_ipu, l)
+                    // apc-lint: allow(L2) -- q <= 16 (ArchConfig) and every limb <= L bits (to_limb_vector), so the PE preconditions hold by construction
+                    .expect("PE pass preconditions hold by construction");
+                Some((pe.gathered, pe.tally))
+            };
+            apc_bignum::par::map_indexed(windows * blocks, parallel, &run_pass)
         };
-        let passes = apc_bignum::par::map_indexed(windows * blocks, parallel, &run_pass);
 
         // Deterministic reduce: merge tallies and fold the Adder Tree /
         // window recomposition in exactly the sequential nesting order,
@@ -415,6 +557,65 @@ mod tests {
         let zero = acc.multiply(&a, &Nat::zero());
         assert_eq!(zero.stages, StageCycles::default());
         assert_eq!(zero.pe_utilization(), 0.0);
+    }
+
+    #[test]
+    fn sliced_backend_is_bit_identical_to_scalar() {
+        // Product, schedule, stage attribution AND bops tally must match
+        // word for word — the cycle model is host-independent.
+        let a = pattern(16, 0xBEEF);
+        let b = pattern(11, 0xF00D);
+        for cfg in [
+            ArchConfig::default(),
+            ArchConfig {
+                n_pe: 2,
+                n_ipu: 2,
+                q: 2,
+                limb_bits: 16,
+                ..ArchConfig::default()
+            },
+        ] {
+            let scalar = Accelerator::with_backend(cfg.clone(), KernelBackend::Scalar);
+            let sliced = Accelerator::with_backend(cfg.clone(), KernelBackend::Sliced64);
+            assert!(KernelBackend::Sliced64.supports(&cfg));
+            let s = scalar.multiply(&a, &b);
+            let v = sliced.multiply(&a, &b);
+            assert_eq!(v.product, s.product);
+            assert_eq!(v.cycles, s.cycles);
+            assert_eq!(v.pe_passes, s.pe_passes);
+            assert_eq!(v.tally, s.tally);
+            assert_eq!(v.stages, s.stages);
+            assert_eq!(v.pe_slots, s.pe_slots);
+        }
+    }
+
+    #[test]
+    fn unsupported_envelope_falls_back_to_scalar() {
+        // L = 64, q = 4: a subset sum needs 66 bits — no single word holds
+        // it, so the sliced request must fall back (and stay correct).
+        let cfg = ArchConfig {
+            limb_bits: 64,
+            ..ArchConfig::default()
+        };
+        assert!(!KernelBackend::Sliced64.supports(&cfg));
+        let acc = Accelerator::with_backend(cfg, KernelBackend::Sliced64);
+        assert_eq!(acc.backend(), KernelBackend::Sliced64);
+        assert_eq!(acc.effective_backend(), KernelBackend::Scalar);
+        let a = pattern(6, 21);
+        let b = pattern(6, 23);
+        assert_eq!(acc.multiply(&a, &b).product, &a * &b);
+    }
+
+    #[test]
+    fn backend_names_and_default() {
+        assert_eq!(KernelBackend::Scalar.name(), "scalar");
+        assert_eq!(KernelBackend::Sliced64.name(), "sliced64");
+        assert_eq!(KernelBackend::default(), KernelBackend::Sliced64);
+        assert!(KernelBackend::Scalar.supports(&ArchConfig {
+            limb_bits: 64,
+            q: 16,
+            ..ArchConfig::default()
+        }));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! The model below implements that mechanism literally (tables per section,
 //! then a select pass) and is checked against plain big-integer addition.
 
+use apc_bignum::limb::{adc, wide_shl_parts, Limb, LIMB_BITS};
 use apc_bignum::Nat;
 
 /// Outcome of a carry-parallel gather pass (Fig. 7c).
@@ -130,6 +131,46 @@ pub fn gather_carry_parallel(partials: &[Nat], l: u32) -> GatherResult {
     }
 }
 
+/// The bitsliced gather: Σᵢ partialᵢ·2^(i·L) computed with word-level
+/// carry chains instead of bit-serial section tables — the Fig. 7c / Fig.
+/// 10 fold of the Sliced64 backend.
+///
+/// Each 128-bit IPU partial lands at bit offset `i·L`; the limb-boundary
+/// straddle is resolved by a 3-limb shift (`wide_shl_parts`) and the
+/// inter-section carries by an `adc` ripple — one word op resolves L
+/// carry-select steps of the scalar model. The result is the exact sum,
+/// so it is bit-identical to [`gather_carry_parallel`]'s value on the
+/// same partials.
+pub fn gather_sliced(partials: &[u128], l: u32) -> Nat {
+    debug_assert!(l >= 1 && l <= LIMB_BITS, "section width must fit a limb");
+    if partials.is_empty() {
+        return Nat::zero();
+    }
+    // Highest bit touched: (n−1)·L offset + 128-bit partial + carry slack.
+    let top_bits = (partials.len() as u64 - 1) * u64::from(l) + 192;
+    let words = crate::cast::usize_from(top_bits.div_ceil(u64::from(LIMB_BITS)) + 1);
+    let mut acc: Vec<Limb> = vec![0; words];
+    for (i, &p) in partials.iter().enumerate() {
+        let offset = i as u64 * u64::from(l);
+        let (word, bit) = apc_bignum::limb::bit_split(offset);
+        let parts = wide_shl_parts(p, bit);
+        let mut carry = 0;
+        for (j, w) in [parts.0, parts.1, parts.2].into_iter().enumerate() {
+            let (s, c) = adc(acc[word + j], w, carry);
+            acc[word + j] = s;
+            carry = c;
+        }
+        let mut k = word + 3;
+        while carry != 0 {
+            let (s, c) = adc(acc[k], 0, carry);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    Nat::from_limbs(acc)
+}
+
 /// Reference gather: plain big-integer accumulation (the sequential
 /// carry-chain baseline of Fig. 5, and the oracle for the carry-parallel
 /// model).
@@ -213,6 +254,27 @@ mod tests {
         assert!(gather_carry_parallel(&[], 8).value.is_zero());
         let zeros = vec![Nat::zero(), Nat::zero()];
         assert!(gather_carry_parallel(&zeros, 8).value.is_zero());
+    }
+
+    #[test]
+    fn sliced_gather_matches_carry_parallel() {
+        // 128-bit partials at strides that do and do not divide 64.
+        let wide: Vec<u128> = (0..32u128)
+            .map(|i| (i << 100) | (i * 0x9E37_79B9_7F4A_7C15) | 1)
+            .collect();
+        for l in [8u32, 16, 24, 32, 54, 64] {
+            let sliced = gather_sliced(&wide, l);
+            let nats: Vec<Nat> = wide.iter().map(|&p| Nat::from(p)).collect();
+            let scalar = gather_carry_parallel(&nats, l);
+            assert_eq!(sliced, scalar.value, "L={l}");
+        }
+    }
+
+    #[test]
+    fn sliced_gather_zero_and_empty() {
+        assert!(gather_sliced(&[], 32).is_zero());
+        assert!(gather_sliced(&[0, 0, 0], 32).is_zero());
+        assert_eq!(gather_sliced(&[u128::MAX], 32), Nat::from(u128::MAX));
     }
 
     #[test]

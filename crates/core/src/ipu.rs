@@ -10,6 +10,7 @@
 
 use crate::bops::BopsTally;
 use crate::converter::Patterns;
+use apc_bignum::limb::{bit_len, low_mask, Limb, LIMB_BITS};
 use apc_bignum::Nat;
 
 /// Output of one IPU pass (BIPS stage 3, Fig. 9c): an inner-product
@@ -86,6 +87,77 @@ pub fn bit_indexed_inner_product(patterns: &Patterns, ys: &[Nat], index_bits: u6
         tally,
         cycles: index_bits,
     }
+}
+
+/// The bitsliced form of [`bit_indexed_inner_product`]: all `index_bits`
+/// bitflow steps of one IPU pass (BIPS stages 2+3, Fig. 8) collapse into
+/// ~2^(q+1) word ops.
+///
+/// The scalar pass accumulates `V = Σ_t pattern(sel(t))·2^t`, one shifted
+/// addition per cycle `t`. Regrouping by *which* pattern each column
+/// selects gives `V = Σ_mask pattern[mask]·I[mask]`, where the **indicator
+/// word** `I[mask] = Σ_{t: sel(t)=mask} 2^t` packs every cycle that
+/// selected `mask` into one machine word. The 2^q indicators are computed
+/// with a subset-split AND network over the q index words (the carry-free
+/// AND/NOT half of the carry-save rewrite; the carries reappear only in
+/// the final per-mask MACs, which are exact in 128-bit arithmetic under
+/// the sliced-support envelope —
+/// [`crate::accelerator::KernelBackend::supports`]).
+///
+/// Returns the inner product and a [`BopsTally`] **bit-identical** to the
+/// scalar pass: `skipped_zero` is `popcount(I[0])`, and the per-cycle
+/// `weighted_gather` charges regroup into `popcount(I[mask]) ·
+/// bits(pattern[mask])` — the same multiset of u64 additions in a
+/// different order.
+pub fn bit_indexed_inner_product_sliced(
+    patterns: &[Limb],
+    element_bits: u64,
+    ys: &[Limb],
+    index_bits: u64,
+) -> (u128, BopsTally) {
+    let q = crate::cast::usize_from(u64::from(patterns.len().trailing_zeros()));
+    debug_assert_eq!(ys.len(), q, "one index word per pattern input");
+    debug_assert!(index_bits <= u64::from(LIMB_BITS), "index stream exceeds one word");
+    let active = low_mask(u32::try_from(index_bits).unwrap_or(LIMB_BITS));
+
+    // Indicator network: split the active cycle set by each index word in
+    // turn. After processing word i, ind[m] (m < 2^(i+1)) holds the cycles
+    // whose low i+1 index bits equal m. 2^(q+1) − 2 word ops total — the
+    // "64 bitflow steps per u64 op" collapse.
+    let mut ind: Vec<Limb> = vec![0; 1 << q];
+    ind[0] = active;
+    let mut half = 1usize;
+    for (i, &y) in ys.iter().enumerate() {
+        debug_assert_eq!(y & !active, 0, "index {i} has bits beyond {index_bits}");
+        for m in 0..half {
+            ind[m | half] = ind[m] & y;
+            ind[m] &= !y;
+        }
+        half <<= 1;
+    }
+
+    let mut tally = BopsTally {
+        bit_serial_reference: q as u64 * element_bits * index_bits,
+        // Cycles whose index column is all zeros select z₀ ≡ 0 and are
+        // skipped — popcount(I[0]) of them at once (bit-sparsity).
+        skipped_zero: u64::from(ind[0].count_ones()),
+        ..BopsTally::default()
+    };
+    let mut value = 0u128;
+    for (mask, &w) in ind.iter().enumerate().skip(1) {
+        if w == 0 {
+            continue;
+        }
+        let p = patterns[mask];
+        tally.weighted_gather += u64::from(w.count_ones()) * u64::from(bit_len(p)).max(1);
+        value += u128::from(p) * u128::from(w);
+    }
+    debug_assert!(
+        element_bits + index_bits >= 124
+            || value < (u128::from(q as u64) << (element_bits + index_bits)),
+        "sliced IPU bound (Fig. 8): V < q·2^(p_x + p_y)"
+    );
+    (value, tally)
 }
 
 /// The straightforward bit-serial MAC scheme of Fig. 6(b) — used as the
@@ -172,6 +244,50 @@ mod tests {
         assert!(out.value.is_zero());
         assert_eq!(out.tally.skipped_zero, 32);
         assert_eq!(out.tally.weighted_gather, 0);
+    }
+
+    #[test]
+    fn sliced_inner_product_matches_scalar_value_and_tally() {
+        let words = [0xDEADu64, 0xBEEF, 0x1234, 0xFFFF];
+        let index_words = [0xAAu64, 0x55, 0x0F, 0xF0];
+        let xs: Vec<Nat> = words.iter().map(|&v| Nat::from(v)).collect();
+        let ys: Vec<Nat> = index_words.iter().map(|&v| Nat::from(v)).collect();
+        let p = generate_patterns(&xs, 16).expect("valid inputs");
+        let scalar = bit_indexed_inner_product(&p, &ys, 8);
+        let (sliced_patterns, _) = crate::converter::generate_patterns_sliced(&words, 16);
+        let (value, tally) = bit_indexed_inner_product_sliced(&sliced_patterns, 16, &index_words, 8);
+        assert_eq!(scalar.value.to_u128(), Some(value));
+        assert_eq!(scalar.tally, tally);
+    }
+
+    #[test]
+    fn sliced_inner_product_full_word_indexes() {
+        // L = 54: the widest limb the sliced envelope admits at q = 4.
+        let words = [
+            (1u64 << 54) - 1,
+            0x2A_AAAA_AAAA_AAAA,
+            0x15_5555_5555_5555,
+            1,
+        ];
+        let index_words = [(1u64 << 54) - 1, 0x3F_0F0F_0F0F_0F0F, 0, 1];
+        let xs: Vec<Nat> = words.iter().map(|&v| Nat::from(v)).collect();
+        let ys: Vec<Nat> = index_words.iter().map(|&v| Nat::from(v)).collect();
+        let p = generate_patterns(&xs, 54).expect("valid inputs");
+        let scalar = bit_indexed_inner_product(&p, &ys, 54);
+        let (sliced_patterns, _) = crate::converter::generate_patterns_sliced(&words, 54);
+        let (value, tally) =
+            bit_indexed_inner_product_sliced(&sliced_patterns, 54, &index_words, 54);
+        assert_eq!(scalar.value.to_u128(), Some(value));
+        assert_eq!(scalar.tally, tally);
+    }
+
+    #[test]
+    fn sliced_zero_index_skips_every_cycle() {
+        let (patterns, _) = crate::converter::generate_patterns_sliced(&[123, 456], 16);
+        let (value, tally) = bit_indexed_inner_product_sliced(&patterns, 16, &[0, 0], 32);
+        assert_eq!(value, 0);
+        assert_eq!(tally.skipped_zero, 32);
+        assert_eq!(tally.weighted_gather, 0);
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! outputs with carry parallel computing.
 
 use crate::bops::BopsTally;
-use crate::converter::{generate_patterns, Patterns};
+use crate::converter::{generate_patterns, generate_patterns_sliced, Patterns};
 use crate::error::ModelError;
-use crate::gu::{cycles_carry_parallel, gather_carry_parallel};
-use crate::ipu::bit_indexed_inner_product;
+use crate::gu::{cycles_carry_parallel, gather_carry_parallel, gather_sliced};
+use crate::ipu::{bit_indexed_inner_product, bit_indexed_inner_product_sliced};
+use apc_bignum::limb::Limb;
 use apc_bignum::Nat;
 
 /// Result of one PE pass (Fig. 9a).
@@ -85,6 +86,40 @@ pub fn pe_pass(
     })
 }
 
+/// One PE pass on the Sliced64 backend (Fig. 9a): sliced Converter →
+/// sliced IPUs → sliced GU, with every L-cycle bitflow stage collapsed to
+/// word ops.
+///
+/// * `x_block` — the q pattern limbs as machine words.
+/// * `ys_flat` — the per-IPU index tuples, flattened: IPU `k`'s q words
+///   are `ys_flat[k·q .. (k+1)·q]` (flat so a pass performs one
+///   allocation-free walk instead of building nested vectors).
+///
+/// The gathered value and [`BopsTally`] are bit-identical to
+/// [`pe_pass`] on the same inputs; the caller (the
+/// [`crate::accelerator::KernelBackend`] dispatch) guarantees the
+/// sliced-support envelope, under which none of the word kernels can
+/// overflow.
+pub fn pe_pass_sliced(x_block: &[Limb], ys_flat: &[Limb], limb_bits: u32) -> (Nat, BopsTally) {
+    let q = x_block.len();
+    debug_assert!(q >= 1, "a pattern block holds at least one limb");
+    debug_assert_eq!(ys_flat.len() % q, 0, "flattened index tuples must align");
+    let element_bits = u64::from(limb_bits);
+    let (patterns, generation_bops) = generate_patterns_sliced(x_block, element_bits);
+    let mut tally = BopsTally {
+        pattern_generation: generation_bops,
+        ..BopsTally::default()
+    };
+    let mut per_ipu: Vec<u128> = Vec::with_capacity(ys_flat.len() / q);
+    for ys in ys_flat.chunks_exact(q) {
+        let (value, ipu_tally) =
+            bit_indexed_inner_product_sliced(&patterns, element_bits, ys, element_bits);
+        tally.merge(&ipu_tally);
+        per_ipu.push(value);
+    }
+    (gather_sliced(&per_ipu, limb_bits), tally)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +168,41 @@ mod tests {
         let r = pe_pass(&x, &ys, 8).expect("valid inputs");
         let ip = 0xFFu64 * 0xFF * 2; // each IPU: 130050
         assert_eq!(r.gathered.to_u64(), Some(ip + (ip << 8)));
+    }
+
+    #[test]
+    fn sliced_pe_pass_matches_scalar_result_and_tally() {
+        let words = [0xABu64, 0xCD, 0x12, 0x34];
+        let x: Vec<Nat> = words.iter().map(|&v| limb(v)).collect();
+        let index_words: Vec<u64> = (0..32u64).map(|i| (i * 37 + 11) & 0xFF).collect();
+        let ys: Vec<Vec<Nat>> = index_words
+            .chunks(4)
+            .map(|c| c.iter().map(|&v| limb(v)).collect())
+            .collect();
+        let scalar = pe_pass(&x, &ys, 8).expect("valid inputs");
+        let (gathered, tally) = pe_pass_sliced(&words, &index_words, 8);
+        assert_eq!(gathered, scalar.gathered);
+        assert_eq!(tally, scalar.tally);
+    }
+
+    #[test]
+    fn sliced_pe_pass_full_width_paper_shape() {
+        // q = 4 limbs of L = 32 bits, 32 IPUs — the §VII default PE shape.
+        let words: Vec<u64> = (0..4u64)
+            .map(|i| 0xDEAD_BEEFu64.rotate_left(i as u32 * 7) & 0xFFFF_FFFF)
+            .collect();
+        let x: Vec<Nat> = words.iter().map(|&v| limb(v)).collect();
+        let index_words: Vec<u64> = (0..128u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF)
+            .collect();
+        let ys: Vec<Vec<Nat>> = index_words
+            .chunks(4)
+            .map(|c| c.iter().map(|&v| limb(v)).collect())
+            .collect();
+        let scalar = pe_pass(&x, &ys, 32).expect("valid inputs");
+        let (gathered, tally) = pe_pass_sliced(&words, &index_words, 32);
+        assert_eq!(gathered, scalar.gathered);
+        assert_eq!(tally, scalar.tally);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! x·y = Σ_t 2^(t·L) · IP_t,   IP_t = Σ_j x_{t−j} · y_j
 //! ```
 
+use apc_bignum::limb::{extract_bits, Limb};
 use apc_bignum::Nat;
 
 /// Splits a natural into its little-endian L-bit limb vector for the Eq. 1
@@ -15,6 +16,38 @@ pub fn to_limb_vector(x: &Nat, limb_bits: u32) -> Vec<Nat> {
     let limbs = x.to_chunks(u64::from(limb_bits), crate::cast::usize_from(count));
     apc_bignum::invariants::check_chunk_widths(&limbs, u64::from(limb_bits));
     limbs
+}
+
+/// The Eq. 1 limb vector as raw machine words — the bitsliced backend's
+/// view of an operand, where element `i` is the same L-bit value
+/// [`to_limb_vector`] yields as a `Nat` (`limb_bits ≤ 64` required).
+///
+/// The scalar kernels stream these limbs bit by bit; the sliced kernels
+/// consume whole words, so the decomposition itself must not round-trip
+/// through per-limb big integers.
+pub fn to_limb_words(x: &Nat, limb_bits: u32) -> Vec<Limb> {
+    debug_assert!(limb_bits >= 1 && limb_bits <= 64, "word view needs L in 1..=64");
+    let count = x.bit_len().div_ceil(u64::from(limb_bits)).max(1);
+    let src = x.limbs();
+    (0..count)
+        .map(|i| extract_bits(src, i * u64::from(limb_bits), limb_bits))
+        .collect()
+}
+
+/// [`reversed_x_slice`] over raw machine words: element `i` is the word
+/// `x_{t − j0 − i}` (zero outside range) — the §V-B2 Memory Agent
+/// selection for the bitsliced backend.
+pub fn reversed_x_words(xs: &[Limb], t: usize, j0: usize, q: usize) -> Vec<Limb> {
+    (0..q)
+        .map(|i| {
+            let idx = t as i64 - j0 as i64 - i as i64;
+            usize::try_from(idx)
+                .ok()
+                .and_then(|u| xs.get(u))
+                .copied()
+                .unwrap_or(0)
+        })
+        .collect()
 }
 
 /// Computes every inner product IP_t of the Eq. 1 transformation — the
@@ -135,6 +168,35 @@ mod tests {
         let s = reversed_x_slice(&xs, 0, 0, 3);
         let vals: Vec<u64> = s.iter().map(|v| v.to_u64().unwrap()).collect();
         assert_eq!(vals, [10, 0, 0]);
+    }
+
+    #[test]
+    fn word_views_match_nat_limb_vectors() {
+        let x = Nat::from(0xDEAD_BEEF_1234_5678u64) * Nat::from(0xABCD_EF01u64);
+        for l in [8u32, 16, 30, 32, 33, 64] {
+            let nats = to_limb_vector(&x, l);
+            let words = to_limb_words(&x, l);
+            assert_eq!(nats.len(), words.len(), "L={l}");
+            for (i, (n, w)) in nats.iter().zip(&words).enumerate() {
+                assert_eq!(n.to_u64(), Some(*w), "L={l} limb {i}");
+            }
+        }
+        assert_eq!(to_limb_words(&Nat::zero(), 32), vec![0]);
+    }
+
+    #[test]
+    fn reversed_words_match_reversed_slice() {
+        let xs_n: Vec<Nat> = (10..15u64).map(n).collect();
+        let xs_w: Vec<u64> = (10..15u64).collect();
+        for t in 0..8usize {
+            for j0 in [0usize, 1, 3] {
+                let a = reversed_x_slice(&xs_n, t, j0, 3);
+                let b = reversed_x_words(&xs_w, t, j0, 3);
+                for (x, w) in a.iter().zip(&b) {
+                    assert_eq!(x.to_u64(), Some(*w), "t={t} j0={j0}");
+                }
+            }
+        }
     }
 
     #[test]

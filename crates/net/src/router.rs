@@ -13,7 +13,10 @@
 //!   affinity a future BIPS pattern cache needs (same-shaped operands
 //!   re-hit the shard whose devices already hold their bit patterns);
 //! - adding or removing a shard remaps only the ring arcs it owned,
-//!   not the whole keyspace (the classic consistent-hashing property).
+//!   not the whole keyspace (the classic consistent-hashing property);
+//! - a shard whose service has shut down is evicted from the ring at
+//!   lookup time: its arcs fall through to the next live shard
+//!   clockwise instead of black-holing jobs.
 //!
 //! The hash is FNV-1a over the bucket value with `replicas` virtual
 //! points per shard — deterministic, zero-dependency, and stable across
@@ -121,18 +124,32 @@ impl Router {
     }
 
     /// The shard index a job with these operand bits routes to: first
-    /// ring point clockwise from the hashed bucket.
+    /// ring point clockwise from the hashed bucket whose shard is still
+    /// serving.
+    ///
+    /// A shard whose `ServeHandle` has shut down is treated as evicted
+    /// from the ring — its arcs fall through to the next live shard
+    /// clockwise, so only the dead shard's own keyspace remaps (the
+    /// consistent-hashing property extends to failure) and no job is
+    /// black-holed into a queue nothing will ever drain.
     pub fn shard_for_bits(&self, operand_bits: u64) -> usize {
         let point = fnv1a(&bucket_of(operand_bits).to_le_bytes());
-        match self.ring.binary_search_by_key(&point, |(p, _)| *p) {
-            Ok(i) => self.ring[i].1,
-            Err(i) => {
-                // Wrap past the last point back to the first (the ring
-                // is non-empty for any router built via start()).
-                let slot = if i == self.ring.len() { 0 } else { i };
-                self.ring.get(slot).map(|(_, s)| *s).unwrap_or(0)
+        let start = match self.ring.binary_search_by_key(&point, |(p, _)| *p) {
+            Ok(i) => i,
+            // Wrap past the last point back to the first (the ring is
+            // non-empty for any router built via start()).
+            Err(i) if i >= self.ring.len() => 0,
+            Err(i) => i,
+        };
+        for step in 0..self.ring.len() {
+            let (_, idx) = self.ring[(start + step) % self.ring.len()];
+            if self.shards.get(idx).is_some_and(|s| !s.handle.is_shutdown()) {
+                return idx;
             }
         }
+        // Every shard is down (or the ring is empty): fall back to the
+        // raw mapping; submission surfaces the shutdown as a rejection.
+        self.ring.get(start).map(|(_, s)| *s).unwrap_or(0)
     }
 
     /// Routes and submits, blocking for the terminal report.
@@ -227,6 +244,30 @@ mod tests {
         let used: std::collections::BTreeSet<usize> =
             (0..20).map(|i| router.shard_for_bits(1u64 << i)).collect();
         assert!(used.len() > 1, "ring degenerated to one shard: {used:?}");
+        router.shutdown();
+    }
+
+    #[test]
+    fn dead_shard_arcs_are_evicted_to_live_shards() {
+        // A shard that shut down behind the router's back must stop
+        // receiving routes (its arcs fall through clockwise), while
+        // every bucket owned by a surviving shard stays put.
+        let cfg = ServeConfig { workers: 1, ..ServeConfig::default() };
+        let handles: Vec<ServeHandle> =
+            (0..3).map(|_| ServeHandle::start(cfg.clone())).collect();
+        let victim = handles[1].clone();
+        let router = Router::from_handles(handles, Router::DEFAULT_REPLICAS);
+        let before: Vec<usize> = (0..24).map(|i| router.shard_for_bits(1u64 << i)).collect();
+        assert!(before.contains(&1), "sweep never hit the victim shard");
+        victim.shutdown();
+        for (i, &owner) in before.iter().enumerate() {
+            let after = router.shard_for_bits(1u64 << i);
+            if owner == 1 {
+                assert_ne!(after, 1, "bucket 2^{i} still routed to the dead shard");
+            } else {
+                assert_eq!(after, owner, "bucket 2^{i} moved between live shards");
+            }
+        }
         router.shutdown();
     }
 

@@ -1,0 +1,32 @@
+//! Sliced-kernel discipline (§IV-B): values loaded or reborrowed out of
+//! a limb slice are limb-typed too, so L11 must follow the typing
+//! through element loads, range reborrows, and enumerate loops.
+
+use crate::limb::Limb;
+
+/// Three bare ops reachable only through flow-through typing: an element
+/// load (`words[0]`), a range reborrow (`&ys_flat[1..3]`), and an
+/// enumerate element.
+fn sliced_bad(words: &[Limb], ys_flat: &[Limb]) -> Limb {
+    let w = words[0];
+    let bumped = w + 1;
+    let ys = &ys_flat[1..3];
+    let folded = ys[0] * 3;
+    let mut acc: Limb = 0;
+    for (_, &y) in words.iter().enumerate() {
+        acc = y << 1;
+    }
+    bumped.wrapping_add(folded).wrapping_add(acc)
+}
+
+/// Flow-through typing must not leak: indexing a non-limb slice, method
+/// results, and helper-routed forms all stay clean.
+fn sliced_good(words: &[Limb], offsets: &[usize]) -> Limb {
+    let base = offsets[0];
+    let shifted = base + 1;
+    let tail = &words[1..];
+    let count = tail.len() + shifted;
+    let w = words[0];
+    let _ = count;
+    w.wrapping_mul(3)
+}

@@ -522,6 +522,35 @@ fn limb_vars(toks: &[Token], f: &crate::items::FnItem) -> LimbVars {
                     }
                 }
             }
+            // `let [mut] name = [&]base[..]…;` — a value loaded out of a
+            // known limb slice is limb-typed too (the Sliced64 word-load
+            // idiom). Anchored at the RHS head so slice mentions buried in
+            // call arguments don't leak typing onto unrelated bindings; a
+            // ranged index yields a limb *slice*, a plain index a scalar.
+            if body.get(j).is_some_and(|t| t.kind == TokenKind::Ident)
+                && body.get(j + 1).is_some_and(|t| t.is_punct("="))
+            {
+                let name = body[j].text.clone();
+                let end = rhs_end(body, j + 2, body.len());
+                let mut m = j + 2;
+                if body.get(m).is_some_and(|t| t.is_punct("&")) {
+                    m += 1;
+                }
+                if m + 1 < end
+                    && body[m].kind == TokenKind::Ident
+                    && body[m + 1].is_punct("[")
+                    && vars.slices.contains(&body[m].text)
+                {
+                    let idx_end = rhs_end(body, m + 2, end);
+                    let ranged = (m + 2..idx_end)
+                        .any(|r| body[r].is_punct("..") || body[r].is_punct("..="));
+                    if ranged {
+                        vars.slices.insert(name);
+                    } else {
+                        vars.scalars.insert(name);
+                    }
+                }
+            }
             // `let (a, b) = <limb helper>(..)`.
             if body.get(j).is_some_and(|t| t.is_punct("(")) {
                 let mut names = Vec::new();
@@ -556,6 +585,31 @@ fn limb_vars(toks: &[Token], f: &crate::items::FnItem) -> LimbVars {
                     let base = body.get(j + 2).filter(|t| t.kind == TokenKind::Ident);
                     if base.is_some_and(|b| vars.slices.contains(&b.text)) {
                         vars.scalars.insert(name);
+                    }
+                }
+            }
+            // `for (i, [&]x) in <limb slice>.iter().enumerate()` — the
+            // second binding walks the slice's elements.
+            if body.get(j).is_some_and(|t| t.is_punct("(")) {
+                let mut names = Vec::new();
+                let mut m = j + 1;
+                while m < body.len() && !body[m].is_punct(")") {
+                    if body[m].kind == TokenKind::Ident && !body[m].is_ident("mut") {
+                        names.push(body[m].text.clone());
+                    }
+                    m += 1;
+                }
+                let elem = names.last().cloned();
+                let base = body
+                    .get(m + 2)
+                    .filter(|_| body.get(m + 1).is_some_and(|t| t.is_ident("in")))
+                    .filter(|t| t.kind == TokenKind::Ident);
+                let enumerated = (m + 3..body.len().min(m + 12))
+                    .take_while(|&r| !body[r].is_punct("{"))
+                    .any(|r| body[r].is_ident("enumerate"));
+                if let (Some(elem), Some(base)) = (elem, base) {
+                    if enumerated && vars.slices.contains(&base.text) {
+                        vars.scalars.insert(elem);
                     }
                 }
             }

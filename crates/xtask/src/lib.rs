@@ -154,7 +154,7 @@ impl RuleId {
                 "no expression mixes the cycle domain and the Instant-ns domain (apc-trace contract)"
             }
             RuleId::L11 => {
-                "no bare +/-/*/<< on limb-typed values in kernel paths (route through limb.rs or wrapping_/checked_)"
+                "no bare +/-/*/<< on limb-typed values in kernel paths, incl. slice loads/reborrows/enumerate elements (route through limb.rs or wrapping_/checked_)"
             }
             RuleId::L12 => {
                 "Ordering::Relaxed only on statistic counters; gate/flag AtomicBools (incl. the vendor/rayon pool's) need Acquire/Release"

@@ -125,25 +125,43 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Runs the tier-1 sequence — release build, tests, the same pair again
-/// with the `parallel` feature (the work-stealing pool and its dispatch
-/// paths only compile and run under that feature), the network crate's
-/// own unit tests and binaries (its server/client bins are not part of
-/// the root package's build graph), then in-process lint — and prints a
-/// one-line summary. Stops at the first failing step so the summary
-/// names the culprit.
+/// Runs the tier-1 sequence — release build, then the test suite across
+/// the kernel-backend × feature matrix (`APC_KERNEL_BACKEND` set to
+/// `sliced64` and `scalar`, each with and without the `parallel`
+/// feature, so every Device path runs under both kernel engines and both
+/// dispatchers), the network crate's own unit tests and binaries (its
+/// server/client bins are not part of the root package's build graph),
+/// then in-process lint — and prints a one-line summary. Stops at the
+/// first failing step so the summary names the culprit.
 fn ci() -> ExitCode {
-    let steps: [(&str, &[&str]); 6] = [
-        ("build", &["build", "--release"]),
-        ("test", &["test", "-q"]),
-        ("build(parallel)", &["build", "--release", "--features", "parallel"]),
-        ("test(parallel)", &["test", "-q", "--features", "parallel"]),
-        ("build(net bins)", &["build", "--release", "-p", "apc-net", "--bins"]),
-        ("test(net)", &["test", "-q", "-p", "apc-net"]),
+    const BACKEND_ENV: &str = "APC_KERNEL_BACKEND";
+    let steps: [(&str, &[&str], &[(&str, &str)]); 8] = [
+        ("build", &["build", "--release"], &[]),
+        ("test(sliced64)", &["test", "-q"], &[(BACKEND_ENV, "sliced64")]),
+        ("test(scalar)", &["test", "-q"], &[(BACKEND_ENV, "scalar")]),
+        ("build(parallel)", &["build", "--release", "--features", "parallel"], &[]),
+        (
+            "test(parallel,sliced64)",
+            &["test", "-q", "--features", "parallel"],
+            &[(BACKEND_ENV, "sliced64")],
+        ),
+        (
+            "test(parallel,scalar)",
+            &["test", "-q", "--features", "parallel"],
+            &[(BACKEND_ENV, "scalar")],
+        ),
+        ("build(net bins)", &["build", "--release", "-p", "apc-net", "--bins"], &[]),
+        ("test(net)", &["test", "-q", "-p", "apc-net"], &[]),
     ];
-    for (name, cargo_args) in steps {
-        println!("ci: cargo {}", cargo_args.join(" "));
-        match std::process::Command::new("cargo").args(cargo_args).status() {
+    for (name, cargo_args, env) in steps {
+        let env_prefix: String =
+            env.iter().map(|(k, v)| format!("{k}={v} ")).collect();
+        println!("ci: {env_prefix}cargo {}", cargo_args.join(" "));
+        match std::process::Command::new("cargo")
+            .args(cargo_args)
+            .envs(env.iter().copied())
+            .status()
+        {
             Ok(status) if status.success() => {}
             Ok(_) => {
                 println!("ci: FAIL ({name})");
@@ -160,7 +178,10 @@ fn ci() -> ExitCode {
     let root = xtask::default_workspace_root();
     match xtask::lint_tree(&root) {
         Ok(v) if v.is_empty() => {
-            println!("ci: PASS (build+test, build+test --features parallel, net bins+tests, lint)");
+            println!(
+                "ci: PASS (build, test x {{sliced64,scalar}} x {{default,parallel}}, \
+                 net bins+tests, lint)"
+            );
             ExitCode::SUCCESS
         }
         Ok(v) => {
