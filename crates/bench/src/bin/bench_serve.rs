@@ -14,11 +14,17 @@
 //!
 //! A direct-device loop (no service, no queue) is also timed as the
 //! reference ceiling for this operand size.
+//!
+//! A final fixed-modulus section measures the pattern-table cache on a
+//! repeated-operand structural workload (one modulus, many
+//! multiplicands — the RSA/zkcm shape the cache exists for) and records
+//! the observed hit rate next to cached and uncached throughput.
 
 use apc_bench::{fmt_seconds, header};
 use apc_bignum::Nat;
 use apc_serve::{Job, JobSpec, MetricsSnapshot, ServeConfig, ServeHandle};
 use apc_trace::export::histogram_json;
+use cambricon_p::{pattern_cache, KernelBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -159,8 +165,18 @@ fn main() {
         .collect();
 
     // Reference ceiling: the same multiplies straight on a private device,
-    // no queue, no threads.
+    // no queue, no threads. Every device in this binary (this one and the
+    // serve workers, which use the same `Device::new` constructor) picks
+    // its kernel backend from the environment; pin the one this process
+    // resolved so both sides of the serial-vs-batched and
+    // serve-vs-direct comparisons are known to match.
+    let kernel_backend = KernelBackend::from_env();
     let device = cambricon_p::mpapca::Device::new_default();
+    assert_eq!(
+        device.kernel_backend(),
+        kernel_backend,
+        "direct-device side must run the recorded backend"
+    );
     let t0 = Instant::now();
     let direct_jobs = 300usize;
     for i in 0..direct_jobs {
@@ -211,6 +227,41 @@ fn main() {
         println!("  {line}");
     }
 
+    // Repeated-operand (fixed-modulus) cache point: the serve jobs above
+    // run the analytic model, so the pattern cache is exercised where it
+    // lives — the structural Fig. 9a pipeline — with one modulus against
+    // many multiplicands. The Converter table depends on the modulus
+    // alone, so after the cold call every lookup should hit.
+    let structural_jobs = 48usize;
+    let modulus = &operands[0].0;
+    apc_trace::set_enabled(true);
+    let run_structural = || {
+        let device = cambricon_p::mpapca::Device::new_default();
+        let t0 = Instant::now();
+        for i in 0..structural_jobs {
+            let _ = device.mul_structural(modulus, &operands[i % operands.len()].1);
+        }
+        structural_jobs as f64 / t0.elapsed().as_secs_f64()
+    };
+    pattern_cache::set_enabled(true);
+    pattern_cache::clear();
+    let before = pattern_cache::counters();
+    let cached_jobs_per_s = run_structural();
+    let after = pattern_cache::counters();
+    let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    pattern_cache::set_enabled(false);
+    let uncached_jobs_per_s = run_structural();
+    pattern_cache::set_enabled(true);
+    pattern_cache::clear();
+    println!();
+    println!(
+        "fixed-modulus structural point: {cached_jobs_per_s:.1} jobs/s cached vs \
+         {uncached_jobs_per_s:.1} uncached ({:.2}x), hit rate {hit_rate:.3} \
+         ({hits} hits / {misses} misses)",
+        cached_jobs_per_s / uncached_jobs_per_s
+    );
+
     // Same honesty contract as bench_json: record what the pool
     // actually was, so serve numbers from 1-core containers are not
     // misread as multi-worker results.
@@ -222,6 +273,7 @@ fn main() {
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
     let _ = writeln!(json, "  \"operand_bits\": {OPERAND_BITS},");
+    let _ = writeln!(json, "  \"kernel_backend\": \"{}\",", kernel_backend.name());
     let _ = writeln!(json, "  \"workers\": {WORKERS},");
     let _ = writeln!(json, "  \"pool_threads\": {pool_threads},");
     let _ = writeln!(json, "  \"parallel_feature\": {parallel_feature},");
@@ -235,6 +287,14 @@ fn main() {
         let _ = writeln!(json, "    {}{comma}", p.json());
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"pattern_cache\": {{");
+    let _ = writeln!(json, "    \"structural_jobs\": {structural_jobs},");
+    let _ = writeln!(json, "    \"hits\": {hits},");
+    let _ = writeln!(json, "    \"misses\": {misses},");
+    let _ = writeln!(json, "    \"hit_rate\": {hit_rate},");
+    let _ = writeln!(json, "    \"cached_jobs_per_s\": {cached_jobs_per_s},");
+    let _ = writeln!(json, "    \"uncached_jobs_per_s\": {uncached_jobs_per_s}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"batched_over_serial\": {}",
@@ -258,5 +318,24 @@ fn main() {
     assert!(
         peak.mean_batch_size > 1.0,
         "the peak load point never formed a real batch"
+    );
+    // The PR-10 regression gate: batches must *grow* with offered load
+    // (the old rendezvous design pinned them near 1 at every load point).
+    assert!(
+        peak.mean_batch_size > points[1].mean_batch_size,
+        "mean batch size must grow with load: {} clients {:.2} <= {} clients {:.2}",
+        peak.clients,
+        peak.mean_batch_size,
+        points[1].clients,
+        points[1].mean_batch_size
+    );
+    assert_eq!(
+        KernelBackend::from_env(),
+        kernel_backend,
+        "backend changed mid-run: the recorded comparisons would mix backends"
+    );
+    assert!(
+        hit_rate > 0.9,
+        "fixed-modulus cache point must hit > 0.9, measured {hit_rate:.3}"
     );
 }

@@ -56,6 +56,7 @@ pub mod invariants;
 pub mod ipu;
 pub mod ma;
 pub mod mpapca;
+pub mod pattern_cache;
 pub mod pe;
 pub mod stats;
 pub mod transform;

@@ -63,12 +63,38 @@ pub fn pe_pass(
     limb_bits: u32,
 ) -> Result<PeResult, ModelError> {
     let patterns: Patterns = generate_patterns(x_block, u64::from(limb_bits))?;
+    pe_pass_with_patterns(&patterns, x_block.len(), ys_per_ipu, limb_bits)
+}
+
+/// [`pe_pass`] over a precomputed pattern table (Fig. 9b).
+///
+/// The Converter's 2^q table depends on the x-block alone, so a caller
+/// multiplying the same operand repeatedly (or the same block across many
+/// output windows) can generate once and replay — the §IV-A inter-IPU
+/// data reuse extended across passes. The modeled cost is unchanged: the
+/// hardware Converter streams its reuse-tree additions on *every* pass,
+/// so the pass tally still starts from the table's generation bops
+/// exactly as [`pe_pass`] does, and results are bit-identical.
+///
+/// `q` is the pattern-block arity the table was generated for (the index
+/// tuples must match it).
+///
+/// # Errors
+///
+/// Returns [`ModelError::ArityMismatch`] if an index tuple length differs
+/// from `q`.
+pub fn pe_pass_with_patterns(
+    patterns: &Patterns,
+    q: usize,
+    ys_per_ipu: &[Vec<Nat>],
+    limb_bits: u32,
+) -> Result<PeResult, ModelError> {
     let mut tally = *patterns.tally();
     let mut per_ipu = Vec::with_capacity(ys_per_ipu.len());
     for ys in ys_per_ipu {
-        if ys.len() != x_block.len() {
+        if ys.len() != q {
             return Err(ModelError::ArityMismatch {
-                expected: x_block.len(),
+                expected: q,
                 got: ys.len(),
             });
         }
@@ -103,9 +129,29 @@ pub fn pe_pass(
 pub fn pe_pass_sliced(x_block: &[Limb], ys_flat: &[Limb], limb_bits: u32) -> (Nat, BopsTally) {
     let q = x_block.len();
     debug_assert!(q >= 1, "a pattern block holds at least one limb");
-    debug_assert_eq!(ys_flat.len() % q, 0, "flattened index tuples must align");
     let element_bits = u64::from(limb_bits);
     let (patterns, generation_bops) = generate_patterns_sliced(x_block, element_bits);
+    pe_pass_sliced_with_patterns(&patterns, generation_bops, q, ys_flat, limb_bits)
+}
+
+/// [`pe_pass_sliced`] over a precomputed sliced pattern table (Fig. 9b) —
+/// the word-backend twin of [`pe_pass_with_patterns`].
+///
+/// `generation_bops` is the table's recorded Converter cost; it is
+/// charged to this pass's tally exactly as [`pe_pass_sliced`] charges a
+/// freshly generated table (the modeled Converter streams on every pass),
+/// so replayed and regenerated passes are bit-identical in value *and*
+/// accounting. `q` is the pattern-block arity of the table.
+pub fn pe_pass_sliced_with_patterns(
+    patterns: &[Limb],
+    generation_bops: u64,
+    q: usize,
+    ys_flat: &[Limb],
+    limb_bits: u32,
+) -> (Nat, BopsTally) {
+    debug_assert!(q >= 1, "a pattern block holds at least one limb");
+    debug_assert_eq!(ys_flat.len() % q, 0, "flattened index tuples must align");
+    let element_bits = u64::from(limb_bits);
     let mut tally = BopsTally {
         pattern_generation: generation_bops,
         ..BopsTally::default()
@@ -113,7 +159,7 @@ pub fn pe_pass_sliced(x_block: &[Limb], ys_flat: &[Limb], limb_bits: u32) -> (Na
     let mut per_ipu: Vec<u128> = Vec::with_capacity(ys_flat.len() / q);
     for ys in ys_flat.chunks_exact(q) {
         let (value, ipu_tally) =
-            bit_indexed_inner_product_sliced(&patterns, element_bits, ys, element_bits);
+            bit_indexed_inner_product_sliced(patterns, element_bits, ys, element_bits);
         tally.merge(&ipu_tally);
         per_ipu.push(value);
     }
@@ -203,6 +249,33 @@ mod tests {
         let (gathered, tally) = pe_pass_sliced(&words, &index_words, 32);
         assert_eq!(gathered, scalar.gathered);
         assert_eq!(tally, scalar.tally);
+    }
+
+    #[test]
+    fn replayed_pattern_tables_are_bit_identical_to_fresh_generation() {
+        // A table generated once and replayed across passes must
+        // reproduce the fresh pass exactly — value AND tally (the modeled
+        // Converter streams on every pass) — on both backends.
+        let words = [0xABu64, 0xCD, 0x12, 0x34];
+        let x: Vec<Nat> = words.iter().map(|&v| limb(v)).collect();
+        let index_words: Vec<u64> = (0..32u64).map(|i| (i * 37 + 11) & 0xFF).collect();
+        let ys: Vec<Vec<Nat>> = index_words
+            .chunks(4)
+            .map(|c| c.iter().map(|&v| limb(v)).collect())
+            .collect();
+        let patterns = generate_patterns(&x, 8).expect("valid block");
+        let fresh = pe_pass(&x, &ys, 8).expect("valid inputs");
+        for _ in 0..3 {
+            let replay = pe_pass_with_patterns(&patterns, 4, &ys, 8).expect("valid inputs");
+            assert_eq!(replay.gathered, fresh.gathered);
+            assert_eq!(replay.tally, fresh.tally);
+        }
+        let (table, bops) = generate_patterns_sliced(&words, 8);
+        let fresh = pe_pass_sliced(&words, &index_words, 8);
+        for _ in 0..3 {
+            let replay = pe_pass_sliced_with_patterns(&table, bops, 4, &index_words, 8);
+            assert_eq!(replay, fresh);
+        }
     }
 
     #[test]

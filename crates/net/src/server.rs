@@ -172,11 +172,13 @@ impl<B: NetBackend + Send + Sync + 'static> NetServer<B> {
         &self.shared.metrics
     }
 
-    /// Listener counters plus the backend's families — exactly what a
+    /// Listener counters plus the backend's families and the device
+    /// model's pattern-table cache counters — exactly what a
     /// `GET /metrics` scrape renders.
     pub fn export_metrics(&self) -> Vec<Metric> {
         let mut out = self.shared.metrics.export_metrics();
         out.extend(self.shared.backend.export_backend_metrics());
+        out.extend(cambricon_p::pattern_cache::export_metrics());
         out
     }
 
@@ -443,6 +445,7 @@ fn serve_http<B: NetBackend>(shared: &Shared<B>, stream: &mut TcpStream) {
         bump(&shared.metrics.metrics_scrapes);
         let mut metrics = shared.metrics.export_metrics();
         metrics.extend(shared.backend.export_backend_metrics());
+        metrics.extend(cambricon_p::pattern_cache::export_metrics());
         ("200 OK", to_prometheus(&metrics))
     } else {
         ("404 Not Found", String::from("not found\n"))

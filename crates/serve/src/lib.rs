@@ -10,7 +10,10 @@
 //!   priority and deadline ([`JobSpec`]);
 //! - a **bounded submission queue** with explicit admission control —
 //!   rejections are typed ([`SubmitError`]), never a panic, never a
-//!   silent drop;
+//!   silent drop; admission is sharded and lock-free (per-bucket MPSC
+//!   channels plus an atomic capacity reservation — see the `queue`
+//!   module and DESIGN.md §"Admission and caching"), so submitters
+//!   never serialize on a queue-wide mutex;
 //! - a **batch-forming scheduler** that groups compatible jobs by
 //!   operand-bitwidth bucket and dispatches each batch to a pool of
 //!   worker-owned `Device`s (see DESIGN.md §"Serving layer" for how this
@@ -152,31 +155,40 @@ impl ServeHandle {
     /// capacity, zero or inverted bucket range) are typed
     /// [`ConfigError`]s, not silently clamped values.
     pub fn try_start(config: ServeConfig) -> Result<ServeHandle, ConfigError> {
-        let queue = Arc::new(JobQueue::new(
+        let (queue, source) = JobQueue::with_source(
             config.queue_capacity,
             config.min_bucket_bits,
             config.max_operand_bits,
-        )?);
+        )?;
         let metrics = Arc::new(ServeMetrics::default());
-        // Rendezvous dispatch: batches form only when a worker is free,
-        // so urgency reordering stays possible until the last moment.
-        let (tx, rx) = mpsc::sync_channel::<queue::Batch>(0);
-        let rx = Arc::new(Mutex::new(rx));
+        // Ready-token dispatch: workers announce themselves on `ready`
+        // before blocking on `batch_rx`, and the scheduler forms a batch
+        // only after consuming a token — so batches form at the last
+        // possible moment, grow with the backlog, and urgency reordering
+        // stays possible until a worker can really take the work.
+        let (batch_tx, batch_rx) = mpsc::channel::<queue::Batch>();
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        let (ready_tx, ready_rx) = mpsc::channel::<()>();
         let mut threads = Vec::new();
         for index in 0..config.workers.max(1) {
             let device = Device::new(config.arch.clone());
-            let rx = Arc::clone(&rx);
+            let batch_rx = Arc::clone(&batch_rx);
+            let ready = ready_tx.clone();
             let metrics = Arc::clone(&metrics);
             threads.push(thread::spawn(move || {
-                worker::worker_loop(index, device, rx, metrics);
+                worker::worker_loop(index, device, batch_rx, ready, metrics);
             }));
         }
+        // Only workers hold ready senders: when the pool unwinds, the
+        // scheduler's `ready.recv()` errors out instead of hanging.
+        drop(ready_tx);
         {
-            let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
             let (batch_max, policy) = (config.batch_max, config.policy);
             threads.push(thread::spawn(move || {
-                scheduler::scheduler_loop(queue, tx, batch_max, policy, metrics);
+                scheduler::scheduler_loop(
+                    source, batch_tx, ready_rx, batch_max, policy, metrics,
+                );
             }));
         }
         Ok(ServeHandle {

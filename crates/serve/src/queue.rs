@@ -5,24 +5,49 @@
 //! batch a worker receives holds jobs of compatible size — the host-side
 //! analogue of packing same-shape work onto the PE array to keep the
 //! IPUs busy (the paper's §VII utilization argument; see DESIGN.md
-//! §"Serving layer").
+//! §"Serving layer" and §"Admission and caching").
 //!
-//! The queue is **bounded across all buckets**: admission returns
-//! [`SubmitError::QueueFull`] instead of blocking or dropping. Each
-//! per-bucket deque reserves the full configured capacity up front — the
-//! same full-capacity reservation idiom as `apc_sim::lru::Lru::new` — so
-//! steady-state operation at capacity never reallocates mid-run.
+//! # Sharded, lock-free admission
 //!
-//! All waiting is condvar-based; the scheduler never sleep-polls (lint
-//! rule L7 enforces this for the whole crate).
+//! Admission never takes a lock. The queue is split into a submitter
+//! half ([`JobQueue`]) and a consumer half ([`BatchSource`]):
+//!
+//! - Each bucket owns an `mpsc` channel. [`JobQueue::push`] resolves the
+//!   bucket, reserves capacity on a single shared [`AtomicUsize`], and
+//!   sends on that bucket's lock-free channel — submitters on different
+//!   buckets never touch the same cacheline beyond the two counters, and
+//!   submitters on the *same* bucket contend only the channel's internal
+//!   segment queue, never a `Mutex` protecting every bucket at once.
+//! - The scheduler thread exclusively owns the [`BatchSource`]: the
+//!   channel receivers plus per-bucket staging deques it drains them
+//!   into. Policy reordering (deadline-aware scans) happens on the
+//!   staged side with no lock at all, because nobody else can see it.
+//!
+//! The capacity bound and the shutdown flag use a SeqCst reserve /
+//! re-check protocol (Dekker-style store-load fencing): `push` increments
+//! `queued` *then* re-loads `shutdown`, while [`JobQueue::begin_shutdown`]
+//! stores `shutdown` *before* the scheduler's drain loop reads `queued`.
+//! In the SeqCst total order one side always observes the other, so a job
+//! is either rejected with [`SubmitError::Shutdown`] or visible to the
+//! drain — never silently leaked between the two.
+//!
+//! The condvar is now only a **sleep gate** ([`SleepGate`], the
+//! `vendor/rayon` registry idiom): an atomic event counter that
+//! submitters bump, with a mutex+condvar the scheduler parks on only
+//! after a snapshot-scan-recheck sequence proves nothing changed. The
+//! uncontended push path is two atomic RMWs and a channel send. All
+//! waiting is condvar-based; the scheduler never sleep-polls (lint rule
+//! L7 enforces this for the whole crate) — the 10 ms `wait_timeout` is a
+//! bounded fallback, not a poll, and fires only while parked idle.
 
 use crate::error::{ConfigError, SubmitError};
 use crate::job::{Job, JobReport, JobSpec};
 use crate::scheduler::SchedPolicy;
 use std::collections::VecDeque;
-use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// One accepted job waiting for dispatch.
 #[derive(Debug)]
@@ -50,40 +75,101 @@ pub(crate) struct Batch {
     pub jobs: Vec<Pending>,
     /// When batch formation finished (dispatch-wait spans start here).
     pub formed_at: Instant,
-    /// Nanoseconds spent forming the batch under the queue lock.
+    /// Nanoseconds spent draining and forming the batch.
     pub form_ns: u64,
 }
 
-struct State {
-    buckets: Vec<VecDeque<Pending>>,
-    queued: usize,
-    shutdown: bool,
+/// The scheduler's parking spot: an event counter submitters bump
+/// lock-free, plus a condvar the scheduler parks on only when a
+/// snapshot/scan/recheck proves no event arrived. The mutex is touched
+/// by notifiers only while a sleeper is actually parked (`sleepers > 0`),
+/// so the hot push path never serializes on it — the same structure as
+/// the vendored rayon registry's sleep module.
+struct SleepGate {
+    /// Bumped on every queue state change (push, rollback, shutdown).
+    events: AtomicU64,
+    /// Parked-scheduler count (0 or 1); notifiers skip the mutex at 0.
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    wake: Condvar,
 }
 
-/// The bounded multi-bucket queue shared by submitters and the scheduler.
+/// Bounded fallback for the one unavoidable park/notify race window; the
+/// gate is correct without it, this just caps the cost of being wrong.
+const GATE_FALLBACK: Duration = Duration::from_millis(10);
+
+impl SleepGate {
+    fn new() -> SleepGate {
+        SleepGate {
+            events: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// The event count *before* a scan: sleep only if still unchanged.
+    fn snapshot(&self) -> u64 {
+        self.events.load(Ordering::SeqCst)
+    }
+
+    /// Announces a state change. Lock-free unless the scheduler is
+    /// parked; then the mutex acquisition serializes with the sleeper's
+    /// check-then-wait so the notify cannot slip into that gap.
+    fn notify(&self) {
+        self.events.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.lock.lock().unwrap_or_else(PoisonError::into_inner));
+            self.wake.notify_all();
+        }
+    }
+
+    /// Parks until an event arrives, unless one already did since
+    /// `snapshot` was taken (in which case this returns immediately).
+    fn sleep_if_unchanged(&self, snapshot: u64) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.events.load(Ordering::SeqCst) == snapshot {
+            let _ = self
+                .wake
+                .wait_timeout(guard, GATE_FALLBACK)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The submitter half: bucket resolution, capacity reservation, and the
+/// per-bucket lock-free channels. Shared by every [`crate::ServeHandle`]
+/// clone; `push` is safe from any number of threads concurrently.
 pub(crate) struct JobQueue {
     capacity: usize,
     bucket_ceilings: Vec<u64>,
-    state: Mutex<State>,
-    work_ready: Condvar,
+    /// One lock-free channel sender per bucket, indexed like `bucket_ceilings`.
+    senders: Vec<Sender<Pending>>,
+    /// Jobs reserved but not yet batched (in flight + channel + staged).
+    queued: AtomicUsize,
+    shutdown: AtomicBool,
+    gate: SleepGate,
 }
 
 impl JobQueue {
-    /// Builds the queue with power-of-two bucket ceilings spanning
-    /// `min_bucket_bits ..= max_operand_bits`. Every bucket reserves the
-    /// full `capacity` (total-queue bound) up front, mirroring
-    /// `Lru::new`: the queued total can never exceed `capacity`, so no
-    /// bucket can either, and steady state never reallocates.
+    /// Builds the queue and its consumer half with power-of-two bucket
+    /// ceilings spanning `min_bucket_bits ..= max_operand_bits`. Every
+    /// staging deque reserves the full `capacity` (total-queue bound) up
+    /// front, mirroring `Lru::new`: the queued total can never exceed
+    /// `capacity`, so no bucket can either, and steady state never
+    /// reallocates.
     ///
     /// Degenerate configurations are typed construction errors: a
     /// zero-capacity queue would reject every submission, a zero minimum
     /// bucket has no operands, and a minimum above the maximum spans no
     /// range at all.
-    pub fn new(
+    pub fn with_source(
         capacity: usize,
         min_bucket_bits: u64,
         max_operand_bits: u64,
-    ) -> Result<JobQueue, ConfigError> {
+    ) -> Result<(Arc<JobQueue>, BatchSource), ConfigError> {
         if capacity == 0 {
             return Err(ConfigError::ZeroCapacity);
         }
@@ -115,16 +201,25 @@ impl JobQueue {
         // Saturation can only ever repeat the top rung; drop duplicates
         // so every bucket ceiling is distinct.
         ceilings.dedup();
-        let buckets = ceilings
-            .iter()
-            .map(|_| VecDeque::with_capacity(capacity))
-            .collect();
-        Ok(JobQueue {
+        let mut senders = Vec::with_capacity(ceilings.len());
+        let mut receivers = Vec::with_capacity(ceilings.len());
+        let mut staged = Vec::with_capacity(ceilings.len());
+        for _ in &ceilings {
+            let (tx, rx) = std::sync::mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+            staged.push(VecDeque::with_capacity(capacity));
+        }
+        let queue = Arc::new(JobQueue {
             capacity,
             bucket_ceilings: ceilings,
-            state: Mutex::new(State { buckets, queued: 0, shutdown: false }),
-            work_ready: Condvar::new(),
-        })
+            senders,
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            gate: SleepGate::new(),
+        });
+        let source = BatchSource { queue: Arc::clone(&queue), receivers, staged };
+        Ok((queue, source))
     }
 
     /// The admission ceiling: the largest bucket. Fails *closed*: if the
@@ -145,13 +240,9 @@ impl JobQueue {
             .unwrap_or_else(|| self.max_operand_bits())
     }
 
-    fn lock(&self) -> MutexGuard<'_, State> {
-        // Poison only means a panicking thread released the lock mid-way;
-        // the state transitions below are all single-step, so recover.
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Admits one job or explains why not. Never blocks, never drops.
+    /// Admits one job or explains why not. Never blocks, never drops,
+    /// never locks: reserve capacity, re-check shutdown, send on the
+    /// bucket channel.
     pub fn push(&self, pending: Pending) -> Result<usize, SubmitError> {
         let bits = pending.job.operand_bits();
         let Some(idx) = self.bucket_ceilings.iter().position(|&c| bits <= c) else {
@@ -160,81 +251,127 @@ impl JobQueue {
                 max_bits: self.max_operand_bits(),
             });
         };
-        let mut state = self.lock();
-        if state.shutdown {
+        if self.shutdown.load(Ordering::SeqCst) {
             return Err(SubmitError::Shutdown);
         }
-        if state.queued >= self.capacity {
+        // Reserve one slot; concurrent over-reservers each roll their own
+        // back, so `queued` can transiently overshoot but never admits
+        // past `capacity`.
+        let prev = self.queued.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.capacity {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            self.gate.notify(); // a drain waiting on `queued` must recheck
             return Err(SubmitError::QueueFull { capacity: self.capacity });
         }
-        state.buckets[idx].push_back(pending);
-        state.queued += 1;
-        let depth = state.queued;
-        drop(state);
-        self.work_ready.notify_one();
+        // Dekker re-check: `begin_shutdown` stored the flag before the
+        // drain loop reads `queued`, and we incremented `queued` before
+        // this load. Under SeqCst one of the two orders holds, so either
+        // we see the flag here (and roll back) or the drain sees our
+        // reservation (and waits for the send below).
+        if self.shutdown.load(Ordering::SeqCst) {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            self.gate.notify();
+            return Err(SubmitError::Shutdown);
+        }
+        let depth = prev + 1;
+        if self.senders[idx].send(pending).is_err() {
+            // Receiver gone: the scheduler thread died (panic unwound the
+            // BatchSource). Nothing can execute this job any more.
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            self.gate.notify();
+            return Err(SubmitError::Shutdown);
+        }
+        self.gate.notify();
         Ok(depth)
     }
 
     /// Current queued (not yet dispatched) job count.
     pub fn depth(&self) -> usize {
-        self.lock().queued
+        self.queued.load(Ordering::SeqCst)
     }
 
     /// Flags shutdown: no new admissions; the scheduler drains what is
     /// already queued.
     pub fn begin_shutdown(&self) {
-        self.lock().shutdown = true;
-        self.work_ready.notify_all();
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.gate.notify();
     }
 
     /// Whether shutdown has begun.
     pub fn is_shutdown(&self) -> bool {
-        self.lock().shutdown
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The consumer half: owned exclusively by the scheduler thread, so
+/// staging and policy reordering need no lock of any kind.
+pub(crate) struct BatchSource {
+    queue: Arc<JobQueue>,
+    /// One channel receiver per bucket, indexed like the ceilings.
+    receivers: Vec<Receiver<Pending>>,
+    /// Per-bucket staging deques the channels drain into; reordering
+    /// (deadline-aware scans) happens here.
+    staged: Vec<VecDeque<Pending>>,
+}
+
+impl BatchSource {
+    /// Moves everything currently in the channels into the staging
+    /// deques, where the policy can see (and reorder) it.
+    fn drain_channels(&mut self) {
+        for (rx, dq) in self.receivers.iter().zip(self.staged.iter_mut()) {
+            loop {
+                match rx.try_recv() {
+                    Ok(p) => dq.push_back(p),
+                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                }
+            }
+        }
     }
 
     /// Blocks until a batch can be formed, and forms it. Returns `None`
     /// only when the queue is shut down **and** fully drained — the
     /// scheduler's termination signal.
-    pub fn next_batch(&self, batch_max: usize, policy: SchedPolicy) -> Option<Batch> {
-        let mut state = self.lock();
+    pub fn next_batch(&mut self, batch_max: usize, policy: SchedPolicy) -> Option<Batch> {
         loop {
-            if let Some(batch) = self.pop_batch(&mut state, batch_max, policy) {
+            // Snapshot strictly before the scan: any push that the scan
+            // misses bumped the counter after this read, so the gate
+            // refuses to park and we rescan instead.
+            let snapshot = self.queue.gate.snapshot();
+            if let Some(batch) = self.pop_batch(batch_max, policy) {
                 return Some(batch);
             }
-            if state.shutdown {
+            // Termination: shutdown flagged and no reservation is live
+            // anywhere (in-flight push, channel, or staging — `queued`
+            // counts all three until batch formation releases it).
+            if self.queue.shutdown.load(Ordering::SeqCst)
+                && self.queue.queued.load(Ordering::SeqCst) == 0
+            {
                 return None;
             }
-            state = self
-                .work_ready
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+            self.queue.gate.sleep_if_unchanged(snapshot);
         }
     }
 
-    /// Non-blocking batch formation: `None` when nothing is queued (the
-    /// empty tick — scheduling work only exists when jobs do).
+    /// Non-blocking batch formation: `None` when nothing is staged or in
+    /// the channels (the empty tick — scheduling work only exists when
+    /// jobs do).
     #[cfg(test)]
-    pub fn try_next_batch(&self, batch_max: usize, policy: SchedPolicy) -> Option<Batch> {
-        let mut state = self.lock();
-        self.pop_batch(&mut state, batch_max, policy)
+    pub fn try_next_batch(&mut self, batch_max: usize, policy: SchedPolicy) -> Option<Batch> {
+        self.pop_batch(batch_max, policy)
     }
 
-    fn pop_batch(
-        &self,
-        state: &mut State,
-        batch_max: usize,
-        policy: SchedPolicy,
-    ) -> Option<Batch> {
+    fn pop_batch(&mut self, batch_max: usize, policy: SchedPolicy) -> Option<Batch> {
         let batch_max = batch_max.max(1);
         let form_started = Instant::now();
+        self.drain_channels();
         // Pick the bucket whose best pending job is globally most urgent.
         let mut best: Option<(usize, usize)> = None; // (bucket, index within)
-        for (b, dq) in state.buckets.iter().enumerate() {
+        for (b, dq) in self.staged.iter().enumerate() {
             if let Some(i) = best_in_bucket(dq, policy) {
                 let cand = &dq[i];
                 let better = match best {
                     None => true,
-                    Some((bb, bi)) => more_urgent(cand, &state.buckets[bb][bi], policy),
+                    Some((bb, bi)) => more_urgent(cand, &self.staged[bb][bi], policy),
                 };
                 if better {
                     best = Some((b, i));
@@ -244,19 +381,21 @@ impl JobQueue {
         let (bucket, _) = best?;
         let mut jobs = Vec::with_capacity(batch_max);
         while jobs.len() < batch_max {
-            let Some(i) = best_in_bucket(&state.buckets[bucket], policy) else {
+            let Some(i) = best_in_bucket(&self.staged[bucket], policy) else {
                 break;
             };
-            if let Some(p) = state.buckets[bucket].remove(i) {
+            if let Some(p) = self.staged[bucket].remove(i) {
                 jobs.push(p);
-                state.queued -= 1;
             } else {
                 break;
             }
         }
+        // Release the capacity reservations only now: depth() keeps
+        // counting staged jobs as queued until they leave in a batch.
+        self.queue.queued.fetch_sub(jobs.len(), Ordering::SeqCst);
         let formed_at = Instant::now();
         Some(Batch {
-            bucket_bits: self.bucket_ceilings[bucket],
+            bucket_bits: self.queue.bucket_ceilings[bucket],
             jobs,
             formed_at,
             form_ns: apc_trace::span::duration_ns(
@@ -265,11 +404,11 @@ impl JobQueue {
         })
     }
 
-    /// Reserved capacity of each bucket deque (for the reservation
+    /// Reserved capacity of each staging deque (for the reservation
     /// regression test).
     #[cfg(test)]
     fn bucket_queue_capacities(&self) -> Vec<usize> {
-        self.lock().buckets.iter().map(VecDeque::capacity).collect()
+        self.staged.iter().map(VecDeque::capacity).collect()
     }
 }
 
@@ -330,6 +469,7 @@ mod tests {
     use super::*;
     use apc_bignum::Nat;
     use std::sync::mpsc;
+    use std::thread;
     use std::time::Duration;
 
     fn pending(id: u64, bits: u64) -> (Pending, mpsc::Receiver<JobReport>) {
@@ -350,7 +490,7 @@ mod tests {
 
     #[test]
     fn bucket_ceilings_are_powers_of_two_and_cover_the_range() {
-        let q = JobQueue::new(8, 64, 1 << 20).expect("valid queue config");
+        let (q, _src) = JobQueue::with_source(8, 64, 1 << 20).expect("valid queue config");
         assert_eq!(q.bucket_for(1), 64);
         assert_eq!(q.bucket_for(64), 64);
         assert_eq!(q.bucket_for(65), 128);
@@ -363,10 +503,16 @@ mod tests {
         // Regression: pre-fix, all three constructions returned a live
         // queue (capacity 0 rejected everything; min > max produced an
         // inverted single-bucket ladder).
-        assert_eq!(JobQueue::new(0, 64, 4096).err(), Some(ConfigError::ZeroCapacity));
-        assert_eq!(JobQueue::new(4, 0, 4096).err(), Some(ConfigError::ZeroMinBucketBits));
         assert_eq!(
-            JobQueue::new(4, 8192, 4096).err(),
+            JobQueue::with_source(0, 64, 4096).err(),
+            Some(ConfigError::ZeroCapacity)
+        );
+        assert_eq!(
+            JobQueue::with_source(4, 0, 4096).err(),
+            Some(ConfigError::ZeroMinBucketBits)
+        );
+        assert_eq!(
+            JobQueue::with_source(4, 8192, 4096).err(),
             Some(ConfigError::MinAboveMax { min_bucket_bits: 8192, max_operand_bits: 4096 })
         );
     }
@@ -376,10 +522,11 @@ mod tests {
         // A ceiling range reaching u64::MAX must terminate (the pre-fix
         // loop relied on c >= max alone) and must not carry duplicate
         // saturated rungs.
-        let q = JobQueue::new(4, u64::MAX - 1, u64::MAX).expect("valid queue config");
+        let (q, _src) =
+            JobQueue::with_source(4, u64::MAX - 1, u64::MAX).expect("valid queue config");
         assert_eq!(q.max_operand_bits(), u64::MAX);
         assert_eq!(q.bucket_for(u64::MAX), u64::MAX);
-        let ladder = JobQueue::new(4, 64, u64::MAX).expect("valid queue config");
+        let (ladder, _src) = JobQueue::with_source(4, 64, u64::MAX).expect("valid queue config");
         // Distinct powers of two 64..2^63 plus the saturated top: 59 rungs.
         assert_eq!(ladder.max_operand_bits(), u64::MAX);
         assert_eq!(ladder.bucket_for(1 << 62), 1 << 62);
@@ -387,11 +534,11 @@ mod tests {
 
     #[test]
     fn batches_carry_formation_spans() {
-        let q = JobQueue::new(4, 64, 4096).expect("valid queue config");
+        let (q, mut src) = JobQueue::with_source(4, 64, 4096).expect("valid queue config");
         let (p, _rx) = pending(0, 100);
         q.push(p).expect("capacity available");
         let before = Instant::now();
-        let b = q.try_next_batch(4, SchedPolicy::Fifo).expect("work queued");
+        let b = src.try_next_batch(4, SchedPolicy::Fifo).expect("work queued");
         assert!(b.formed_at >= before);
         // form_ns is a measured span, not a sentinel; it can be 0 on a
         // coarse clock but never exceeds the enclosing interval.
@@ -400,15 +547,15 @@ mod tests {
 
     #[test]
     fn empty_tick_yields_no_batch() {
-        let q = JobQueue::new(4, 64, 4096).expect("valid queue config");
-        assert!(q.try_next_batch(8, SchedPolicy::Fifo).is_none());
-        assert!(q.try_next_batch(8, SchedPolicy::DeadlineAware).is_none());
+        let (q, mut src) = JobQueue::with_source(4, 64, 4096).expect("valid queue config");
+        assert!(src.try_next_batch(8, SchedPolicy::Fifo).is_none());
+        assert!(src.try_next_batch(8, SchedPolicy::DeadlineAware).is_none());
         assert_eq!(q.depth(), 0);
     }
 
     #[test]
     fn capacity_bound_is_enforced_without_blocking() {
-        let q = JobQueue::new(3, 64, 4096).expect("valid queue config");
+        let (q, _src) = JobQueue::with_source(3, 64, 4096).expect("valid queue config");
         let mut rxs = Vec::new();
         for id in 0..3 {
             let (p, rx) = pending(id, 100);
@@ -422,25 +569,25 @@ mod tests {
 
     #[test]
     fn batches_never_mix_buckets() {
-        let q = JobQueue::new(8, 64, 4096).expect("valid queue config");
+        let (q, mut src) = JobQueue::with_source(8, 64, 4096).expect("valid queue config");
         let mut rxs = Vec::new();
         for (id, bits) in [(0u64, 60u64), (1, 3000), (2, 50), (3, 40)] {
             let (p, rx) = pending(id, bits);
             q.push(p).expect("capacity available");
             rxs.push(rx);
         }
-        let b = q.try_next_batch(8, SchedPolicy::Fifo).expect("work queued");
+        let b = src.try_next_batch(8, SchedPolicy::Fifo).expect("work queued");
         assert_eq!(b.bucket_bits, 64);
         assert_eq!(b.jobs.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 2, 3]);
-        let b2 = q.try_next_batch(8, SchedPolicy::Fifo).expect("big job left");
+        let b2 = src.try_next_batch(8, SchedPolicy::Fifo).expect("big job left");
         assert_eq!(b2.bucket_bits, 4096);
         assert_eq!(b2.jobs.len(), 1);
-        assert!(q.try_next_batch(8, SchedPolicy::Fifo).is_none());
+        assert!(src.try_next_batch(8, SchedPolicy::Fifo).is_none());
     }
 
     #[test]
     fn deadline_aware_orders_by_deadline_then_priority() {
-        let q = JobQueue::new(8, 64, 4096).expect("valid queue config");
+        let (q, mut src) = JobQueue::with_source(8, 64, 4096).expect("valid queue config");
         let now = Instant::now();
         let mut rxs = Vec::new();
         let mut push = |id: u64, deadline_ms: Option<u64>, priority: u8| {
@@ -454,7 +601,7 @@ mod tests {
         push(1, Some(500), 0);
         push(2, Some(100), 0);
         push(3, None, 9);
-        let b = q
+        let b = src
             .try_next_batch(4, SchedPolicy::DeadlineAware)
             .expect("work queued");
         assert_eq!(b.jobs.iter().map(|p| p.id).collect::<Vec<_>>(), vec![2, 1, 3, 0]);
@@ -463,11 +610,11 @@ mod tests {
     #[test]
     fn steady_state_at_capacity_never_reallocates_bucket_queues() {
         // The Lru full-capacity-reservation idiom, applied to the
-        // scheduler's per-bucket queues: churn the queue at its configured
+        // scheduler's staging deques: churn the queue at its configured
         // capacity and assert no deque ever regrows.
         let capacity = 64;
-        let q = JobQueue::new(capacity, 64, 1 << 16).expect("valid queue config");
-        let reserved = q.bucket_queue_capacities();
+        let (q, mut src) = JobQueue::with_source(capacity, 64, 1 << 16).expect("valid config");
+        let reserved = src.bucket_queue_capacities();
         assert!(reserved.iter().all(|&c| c >= capacity), "{reserved:?}");
         let mut id = 0u64;
         let mut rxs = Vec::new();
@@ -482,10 +629,10 @@ mod tests {
                     Err(e) => unreachable!("unexpected rejection: {e}"),
                 }
             }
-            while q.try_next_batch(7, SchedPolicy::Fifo).is_some() {}
+            while src.try_next_batch(7, SchedPolicy::Fifo).is_some() {}
         }
         assert_eq!(
-            q.bucket_queue_capacities(),
+            src.bucket_queue_capacities(),
             reserved,
             "bucket queues reallocated during steady state"
         );
@@ -493,15 +640,72 @@ mod tests {
 
     #[test]
     fn shutdown_rejects_new_but_drains_old() {
-        let q = JobQueue::new(4, 64, 4096).expect("valid queue config");
+        let (q, mut src) = JobQueue::with_source(4, 64, 4096).expect("valid queue config");
         let (p, _rx) = pending(0, 100);
         q.push(p).expect("capacity available");
         q.begin_shutdown();
         let (p2, _rx2) = pending(1, 100);
         assert_eq!(q.push(p2), Err(SubmitError::Shutdown));
         // The queued job is still drainable...
-        assert!(q.next_batch(4, SchedPolicy::Fifo).is_some());
+        assert!(src.next_batch(4, SchedPolicy::Fifo).is_some());
         // ...and once empty, next_batch signals termination.
-        assert!(q.next_batch(4, SchedPolicy::Fifo).is_none());
+        assert!(src.next_batch(4, SchedPolicy::Fifo).is_none());
+    }
+
+    #[test]
+    fn concurrent_submitters_conserve_every_admitted_job() {
+        // The MPSC conservation law: with submitters racing the drain and
+        // a shutdown landing mid-stream, every Ok(push) is either in a
+        // formed batch or... there is no other place. IDs are unique, so
+        // a set equality check catches both loss and duplication.
+        let (q, mut src) = JobQueue::with_source(4096, 64, 1 << 16).expect("valid config");
+        let threads = 8u64;
+        let per_thread = 200u64;
+        let admitted = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let drained = thread::scope(|s| {
+            let mut submitters = Vec::new();
+            for t in 0..threads {
+                let q = Arc::clone(&q);
+                let admitted = Arc::clone(&admitted);
+                submitters.push(s.spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..per_thread {
+                        let id = t * per_thread + i;
+                        let (p, _rx) = pending(id, 60 + (id % 5) * 900);
+                        if q.push(p).is_ok() {
+                            mine.push(id);
+                        }
+                    }
+                    admitted
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .extend(mine);
+                }));
+            }
+            {
+                // Shut down only after every submitter finished, so the
+                // drain loop's None is a true end-of-stream.
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for h in submitters {
+                        let _ = h.join();
+                    }
+                    q.begin_shutdown();
+                });
+            }
+            let mut drained = Vec::new();
+            while let Some(b) = src.next_batch(8, SchedPolicy::Fifo) {
+                drained.extend(b.jobs.iter().map(|p| p.id));
+            }
+            drained
+        });
+        let mut admitted = admitted.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        admitted.sort_unstable();
+        let mut drained = drained;
+        drained.sort_unstable();
+        // Every admitted job drained exactly once; jobs racing the
+        // shutdown were either admitted (and so drained) or rejected.
+        assert_eq!(admitted, drained);
+        assert_eq!(q.depth(), 0);
     }
 }

@@ -1,17 +1,29 @@
 //! The batch-forming scheduler thread.
 //!
-//! One thread owns batch formation: it blocks on the queue's condvar
-//! (never sleep-polls — lint rule L7), forms a single-bucket batch under
-//! the configured policy, and hands it to the worker pool over a
-//! rendezvous channel. The rendezvous (a zero-capacity sync channel) is
-//! deliberate: jobs stay in the reorderable bucket queues until a worker
-//! is actually free, so a late high-urgency submission can still overtake
-//! queued work under the deadline-aware policy, and queue depth remains an
-//! honest backpressure signal.
+//! One thread exclusively owns the consumer half of the queue (the
+//! [`BatchSource`]): it parks on the queue's sleep gate (never
+//! sleep-polls — lint rule L7), forms a single-bucket batch under the
+//! configured policy, and hands it to the worker pool.
+//!
+//! # Ready-token dispatch
+//!
+//! Batch formation is deferred until a worker is *actually free*: each
+//! worker sends a `()` on the ready channel immediately before blocking
+//! on the batch channel, and the scheduler consumes one token **before**
+//! forming the next batch. This ordering is the batching fix this layer's
+//! throughput depends on — the earlier rendezvous design formed a batch
+//! as soon as the first job arrived, then blocked in the handoff while
+//! the backlog grew behind it, so under load every batch carried ~1 job
+//! and the per-batch handoff cost was paid per job. With the token taken
+//! first, jobs keep accumulating in the staging deques while every
+//! worker is busy, so the batch formed at the last moment is as large
+//! (and, under the deadline-aware policy, as freshly re-orderable) as
+//! the load allows, and queue depth remains an honest backpressure
+//! signal.
 
 use crate::metrics::ServeMetrics;
-use crate::queue::{Batch, JobQueue};
-use std::sync::mpsc::SyncSender;
+use crate::queue::{Batch, BatchSource};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 /// Batch-formation policy.
@@ -28,19 +40,27 @@ pub enum SchedPolicy {
 /// Runs until the queue reports shutdown-and-drained, then drops the
 /// dispatch sender so the worker pool unwinds.
 pub(crate) fn scheduler_loop(
-    queue: Arc<JobQueue>,
-    dispatch: SyncSender<Batch>,
+    mut source: BatchSource,
+    dispatch: Sender<Batch>,
+    ready: Receiver<()>,
     batch_max: usize,
     policy: SchedPolicy,
     metrics: Arc<ServeMetrics>,
 ) {
-    while let Some(batch) = queue.next_batch(batch_max, policy) {
+    loop {
+        // A free worker first, a batch second: see the module docs.
+        if ready.recv().is_err() {
+            // Every worker dropped its ready sender; workers only exit
+            // after the dispatch channel closes, so this means a panic
+            // took the pool down and there is nobody left to execute for.
+            break;
+        }
+        let Some(batch) = source.next_batch(batch_max, policy) else {
+            break; // shutdown and fully drained
+        };
         metrics.record_batch(batch.jobs.len(), batch.form_ns);
         if dispatch.send(batch).is_err() {
-            // Workers are gone (they only exit after this sender is
-            // dropped, so this means a panic took the pool down); there
-            // is nobody left to execute for.
-            break;
+            break; // pool gone mid-dispatch (worker panic)
         }
     }
     // `dispatch` drops here: workers see a closed channel and exit after

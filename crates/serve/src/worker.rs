@@ -1,18 +1,22 @@
 //! The worker pool: one `cambricon_p::Device` handle per worker.
 //!
-//! Workers pull whole batches from the rendezvous channel and execute
-//! their jobs back to back — the per-batch handoff cost (channel
-//! rendezvous, mutex, thread wake) is paid once per batch instead of once
-//! per job, which is where the serving layer's throughput win over
-//! one-job-at-a-time submission comes from. Per-job service cycles are
-//! attributed with the snapshot/delta stats API on the worker's own
-//! device, so concurrent tenants never blur each other's accounting.
+//! Workers announce themselves on the ready channel, pull whole batches
+//! from the dispatch channel, and execute their jobs back to back — the
+//! per-batch handoff cost (channel, mutex, thread wake) is paid once per
+//! batch instead of once per job, which is where the serving layer's
+//! throughput win over one-job-at-a-time submission comes from. The
+//! ready token is sent *before* blocking on dispatch, so the scheduler
+//! can defer batch formation until a worker can really take it (see the
+//! scheduler module docs for why that ordering is the whole batching
+//! story). Per-job service cycles are attributed with the snapshot/delta
+//! stats API on the worker's own device, so concurrent tenants never
+//! blur each other's accounting.
 
 use crate::job::{DeadlineOutcome, JobId, JobReport};
 use crate::metrics::ServeMetrics;
 use crate::queue::Batch;
 use cambricon_p::Device;
-use std::sync::mpsc::Receiver;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
@@ -21,10 +25,16 @@ pub(crate) fn worker_loop(
     index: usize,
     device: Device,
     dispatch: Arc<Mutex<Receiver<Batch>>>,
+    ready: Sender<()>,
     metrics: Arc<ServeMetrics>,
 ) {
     let cycle_seconds = device.config().cycle_seconds();
     loop {
+        // Tell the scheduler a worker is about to block on dispatch; it
+        // holds batch formation until it has consumed such a token.
+        if ready.send(()).is_err() {
+            return; // scheduler gone (panic): nothing will ever arrive
+        }
         // Hold the receiver lock only for the blocking receive; execution
         // happens with the channel free for the other workers.
         let batch = {

@@ -1,0 +1,29 @@
+//! Relaxed cache-gate atomics: the pattern-table cache's enable switch
+//! (§VII repeated-operand reuse) is a gate flag, not a statistic — a
+//! relaxed access on it can let a reader act on the switch while missing
+//! the `clear()` the switch was supposed to publish. L12 must flag both
+//! gate accesses and leave the hit counter alone.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Process-wide switch over the Fig. 8 pattern-table cache.
+static CACHE_GATE: AtomicBool = AtomicBool::new(true);
+
+/// Hit statistic for the §VII-B snapshot/delta idiom.
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Relaxed store on the gate publishes nothing: a reader can observe the
+/// cache "on" before the cleared Fig. 8 tables are visible. (1)
+pub fn set_enabled(on: bool) {
+    CACHE_GATE.store(on, Ordering::Relaxed);
+}
+
+/// Relaxed probe of the gate synchronizes with nothing (§VII). (2)
+pub fn enabled() -> bool {
+    CACHE_GATE.load(Ordering::Relaxed)
+}
+
+/// Relaxed on the hit statistic is exactly right — not flagged (§VII-B).
+pub fn count_hit() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

@@ -6,9 +6,9 @@
 //!   explicit root); exits nonzero when violations are found. With
 //!   `--json`, emits one stable machine-readable object (schema:
 //!   `root`, `count`, `findings[{rule, path, line, message, allowed}]`).
-//! - `ci` — run the full tier-1 gate (release build and tests in both
-//!   feature states — default and `--features parallel` — then lint) and
-//!   print a one-line PASS/FAIL summary.
+//! - `ci` — run the full tier-1 gate (release build, tests across the
+//!   kernel-backend × feature matrix plus a pattern-cache-off pass, then
+//!   lint) and print a one-line PASS/FAIL summary.
 //! - `rules` — list the lint rules.
 
 #![forbid(unsafe_code)]
@@ -129,16 +129,21 @@ fn json_escape(s: &str) -> String {
 /// the kernel-backend × feature matrix (`APC_KERNEL_BACKEND` set to
 /// `sliced64` and `scalar`, each with and without the `parallel`
 /// feature, so every Device path runs under both kernel engines and both
-/// dispatchers), the network crate's own unit tests and binaries (its
-/// server/client bins are not part of the root package's build graph),
-/// then in-process lint — and prints a one-line summary. Stops at the
-/// first failing step so the summary names the culprit.
+/// dispatchers), a cache-off pass (`APC_PATTERN_CACHE=off`, so every
+/// structural path is also exercised with the pattern-table cache
+/// force-disabled — the transparency contract from the other side), the
+/// network crate's own unit tests and binaries (its server/client bins
+/// are not part of the root package's build graph), then in-process lint
+/// — and prints a one-line summary. Stops at the first failing step so
+/// the summary names the culprit.
 fn ci() -> ExitCode {
     const BACKEND_ENV: &str = "APC_KERNEL_BACKEND";
-    let steps: [(&str, &[&str], &[(&str, &str)]); 8] = [
+    const CACHE_ENV: &str = "APC_PATTERN_CACHE";
+    let steps: [(&str, &[&str], &[(&str, &str)]); 9] = [
         ("build", &["build", "--release"], &[]),
         ("test(sliced64)", &["test", "-q"], &[(BACKEND_ENV, "sliced64")]),
         ("test(scalar)", &["test", "-q"], &[(BACKEND_ENV, "scalar")]),
+        ("test(cache off)", &["test", "-q"], &[(CACHE_ENV, "off")]),
         ("build(parallel)", &["build", "--release", "--features", "parallel"], &[]),
         (
             "test(parallel,sliced64)",
@@ -180,7 +185,7 @@ fn ci() -> ExitCode {
         Ok(v) if v.is_empty() => {
             println!(
                 "ci: PASS (build, test x {{sliced64,scalar}} x {{default,parallel}}, \
-                 net bins+tests, lint)"
+                 test x cache-off, net bins+tests, lint)"
             );
             ExitCode::SUCCESS
         }

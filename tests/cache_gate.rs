@@ -1,0 +1,226 @@
+//! Tier-1 gate for the pattern-table cache and the sharded admission
+//! queue (DESIGN.md §"Admission and caching").
+//!
+//! Three contracts:
+//!
+//! 1. **Cache transparency** — repeated-operand workloads must be
+//!    bit-identical with the cache on and off, across both kernel
+//!    backends: same products, same `DeviceStats` (cycles, stage
+//!    attribution, bops, PE passes). The cache is host-side only, like
+//!    the Sliced64 backend; it must never leak into the modeled machine.
+//! 2. **LRU consistency under concurrent submit** — hammering the cache
+//!    from many threads with more distinct operands than its capacity
+//!    must keep the resident set bounded, keep the LRU and the entry map
+//!    shadowing each other, evict (not wedge), and never corrupt a
+//!    result.
+//! 3. **MPSC conservation** — with submitters racing a mid-stream
+//!    shutdown, every job the sharded queue admitted completes with
+//!    exactly one terminal report; no job leaks, none reports twice.
+
+use apc_bignum::Nat;
+use apc_serve::{Job, JobOutput, JobSpec, ServeConfig, ServeHandle};
+use cambricon_p::pattern_cache;
+use cambricon_p::stats::DeviceStats;
+use cambricon_p::{Device, KernelBackend};
+use rand::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+/// Serializes the tests in this binary that toggle or inspect the
+/// process-wide pattern cache, and restores the switch even if an
+/// assertion fails.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+struct CacheGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl CacheGuard {
+    fn set(on: bool) -> CacheGuard {
+        let lock = CACHE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        // Counters only record while tracing is on; pin it so hit/miss
+        // assertions below are meaningful.
+        apc_trace::set_enabled(true);
+        pattern_cache::set_enabled(on);
+        pattern_cache::clear();
+        CacheGuard { _lock: lock }
+    }
+}
+
+impl Drop for CacheGuard {
+    fn drop(&mut self) {
+        pattern_cache::set_enabled(true);
+        pattern_cache::clear();
+    }
+}
+
+fn random_nat(rng: &mut rand::rngs::StdRng, bits: u64) -> Nat {
+    let limbs = (bits as usize).div_ceil(64).max(1);
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+    if let Some(top) = v.last_mut() {
+        *top |= 1 << 63;
+    }
+    Nat::from_limbs(v)
+}
+
+/// A fixed-modulus-style workload: few distinct left operands, many
+/// right operands — the shape the cache exists for. Returns everything
+/// the device computed, values and accounting alike.
+fn repeated_operand_workload(backend: KernelBackend, seed: u64) -> (Vec<Nat>, DeviceStats) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let device = Device::new_default().with_kernel_backend(backend);
+    let moduli: Vec<Nat> = [900u64, 2_100, 3_300]
+        .iter()
+        .map(|&bits| random_nat(&mut rng, bits))
+        .collect();
+    let mut products = Vec::new();
+    for round in 0..4u64 {
+        for x in &moduli {
+            let y = random_nat(&mut rng, 700 + round * 400);
+            products.push(device.mul_structural(x, &y));
+        }
+    }
+    (products, device.stats_snapshot())
+}
+
+#[test]
+fn cache_on_and_off_are_bit_identical_across_backends() {
+    for backend in [KernelBackend::Scalar, KernelBackend::Sliced64] {
+        let (cached_products, cached_stats, hits) = {
+            let _guard = CacheGuard::set(true);
+            let before = pattern_cache::counters();
+            let (p, s) = repeated_operand_workload(backend, 0xCAFE);
+            (p, s, pattern_cache::counters().hits - before.hits)
+        };
+        let (plain_products, plain_stats) = {
+            let _guard = CacheGuard::set(false);
+            repeated_operand_workload(backend, 0xCAFE)
+        };
+        assert_eq!(
+            cached_products, plain_products,
+            "{backend:?}: products must not depend on the cache"
+        );
+        assert_eq!(
+            cached_stats, plain_stats,
+            "{backend:?}: the modeled machine must not see the cache"
+        );
+        // The workload repeats 3 operands over 12 calls: at least the 9
+        // non-cold lookups must have hit, or the cache did nothing.
+        assert!(hits >= 9, "{backend:?}: expected >= 9 hits, saw {hits}");
+    }
+}
+
+#[test]
+fn cache_disabled_touches_no_shared_state() {
+    let _guard = CacheGuard::set(false);
+    let before = pattern_cache::counters();
+    let (products, _) = repeated_operand_workload(KernelBackend::Sliced64, 0xD15);
+    assert!(!products.is_empty());
+    assert_eq!(
+        pattern_cache::counters(),
+        before,
+        "disabled cache must record nothing"
+    );
+    assert_eq!(pattern_cache::len(), 0, "disabled cache must stay empty");
+}
+
+#[test]
+fn concurrent_submitters_evict_without_corrupting_the_lru() {
+    let _guard = CacheGuard::set(true);
+    let before = pattern_cache::counters();
+    let threads = 6u64;
+    let per_thread = 30u64;
+    thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xE71C + t);
+                let device = Device::new_default();
+                for _ in 0..per_thread {
+                    // Every operand distinct: with capacity 64 (default)
+                    // and 180 inserts, replacement must happen.
+                    let a = random_nat(&mut rng, 600);
+                    let b = random_nat(&mut rng, 500);
+                    assert_eq!(device.mul_structural(&a, &b), &a * &b);
+                }
+            });
+        }
+    });
+    let delta_evictions = pattern_cache::counters().evictions - before.evictions;
+    // len() debug-asserts that the LRU and the entry map shadow each
+    // other; the bound below is the capacity contract.
+    assert!(pattern_cache::len() <= 64, "resident set exceeded capacity");
+    assert!(
+        delta_evictions > 0,
+        "180 distinct operands through a 64-entry cache must evict"
+    );
+}
+
+#[test]
+fn sharded_queue_conserves_every_job_across_shutdown() {
+    let serve = ServeHandle::start(ServeConfig {
+        queue_capacity: 64,
+        workers: 3,
+        batch_max: 8,
+        ..ServeConfig::default()
+    });
+    let submitters = 6u64;
+    let per_thread = 60u64;
+    // Submitters pause at the halfway barrier; the shutdown thread fires
+    // there, so roughly half the submissions race the drain.
+    let barrier = Arc::new(Barrier::new(submitters as usize + 1));
+    let reported = AtomicU64::new(0);
+    let admitted_total = AtomicU64::new(0);
+    thread::scope(|s| {
+        for t in 0..submitters {
+            let serve = serve.clone();
+            let barrier = Arc::clone(&barrier);
+            let reported = &reported;
+            let admitted_total = &admitted_total;
+            s.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED + t);
+                let mut tickets = Vec::new();
+                for i in 0..per_thread {
+                    if i == per_thread / 2 {
+                        barrier.wait();
+                    }
+                    let a = random_nat(&mut rng, 300 + (i % 7) * 150);
+                    let b = random_nat(&mut rng, 250);
+                    match serve.submit(Job::Mul { a, b }, JobSpec::default()) {
+                        Ok(ticket) => tickets.push(ticket),
+                        // Backpressure and the shutdown race are the
+                        // point of the test, not failures.
+                        Err(_) => {}
+                    }
+                }
+                admitted_total.fetch_add(tickets.len() as u64, Ordering::Relaxed);
+                for ticket in tickets {
+                    let report = ticket
+                        .wait()
+                        .expect("every admitted job must report, shutdown included");
+                    assert!(matches!(report.output, JobOutput::Product(_)));
+                    reported.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        {
+            let serve = serve.clone();
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                barrier.wait();
+                serve.shutdown();
+            });
+        }
+    });
+    let m = serve.metrics();
+    let admitted = admitted_total.load(Ordering::Relaxed);
+    assert!(admitted > 0, "some jobs must have been admitted");
+    assert_eq!(m.submitted, admitted, "metrics admit count matches tickets");
+    assert_eq!(m.completed, admitted, "every admitted job completed");
+    assert_eq!(
+        reported.load(Ordering::Relaxed),
+        admitted,
+        "every admitted job delivered exactly one report"
+    );
+    assert_eq!(serve.queue_depth(), 0, "nothing left staged after drain");
+}

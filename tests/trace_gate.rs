@@ -151,6 +151,36 @@ fn disabled_tracing_leaves_histograms_empty_but_counters_counting() {
     }
 }
 
+#[test]
+fn disabled_tracing_silences_the_pattern_cache_counters() {
+    // The zero-perturbation contract extends to the pattern-table cache
+    // (DESIGN.md §"Admission and caching"): with tracing globally off, a
+    // cache lookup — hit or miss — must not perform a single
+    // shared-cacheline counter write. The flag load itself is read-only
+    // traffic. The cache still *functions* (tables are served); only the
+    // statistics go quiet.
+    let _guard = FlagGuard::set(false);
+    use cambricon_p::pattern_cache;
+    pattern_cache::set_enabled(true);
+    pattern_cache::clear();
+    let before = pattern_cache::counters();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE);
+    let device = Device::new_default();
+    let modulus = random_nat(&mut rng, 1_800);
+    for i in 0..5u64 {
+        let y = random_nat(&mut rng, 400 + i * 200);
+        assert_eq!(device.mul_structural(&modulus, &y), &modulus * &y);
+    }
+    assert_eq!(
+        pattern_cache::counters(),
+        before,
+        "cache counters must not move while tracing is off"
+    );
+    // The cache itself kept working: the repeated modulus is resident.
+    assert!(pattern_cache::len() >= 1, "lookups must still serve tables");
+    pattern_cache::clear();
+}
+
 /// Reads the value of `name{labels}` (exact label block match, `""` for
 /// none) out of a Prometheus text exposition.
 fn prom_value(text: &str, name: &str, labels: &str) -> u64 {
